@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: standard configuration,
+ * solo-baseline caching, and header printing.
+ */
+
+#ifndef NEON_BENCH_COMMON_HH
+#define NEON_BENCH_COMMON_HH
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "neon/neon.hh"
+
+namespace neonbench
+{
+
+using namespace neon;
+
+/** Standard experiment configuration for the paper reproductions. */
+inline ExperimentConfig
+baseConfig(SchedKind kind, double measure_s = 2.5)
+{
+    ExperimentConfig cfg;
+    cfg.sched = kind;
+    cfg.measure = sec(measure_s);
+    return cfg;
+}
+
+/** Cache of solo direct-access round times, keyed by workload label. */
+class SoloCache
+{
+  public:
+    explicit SoloCache(double measure_s = 2.5) : measureS(measure_s) {}
+
+    double
+    roundUs(const WorkloadSpec &spec)
+    {
+        auto it = cache.find(spec.label);
+        if (it != cache.end())
+            return it->second;
+        ExperimentRunner runner(baseConfig(SchedKind::Direct, measureS));
+        const double v = runner.run({spec}).tasks.at(0).meanRoundUs;
+        cache.emplace(spec.label, v);
+        return v;
+    }
+
+  private:
+    double measureS;
+    std::map<std::string, double> cache;
+};
+
+/** Banner for a reproduced figure/table. */
+inline void
+banner(const std::string &id, const std::string &what)
+{
+    std::cout << "==============================================="
+                 "=============\n"
+              << id << " — " << what << "\n"
+              << "==============================================="
+                 "=============\n\n";
+}
+
+} // namespace neonbench
+
+#endif // NEON_BENCH_COMMON_HH

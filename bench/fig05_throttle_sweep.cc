@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 5 reproduction: standalone Throttle slowdown across request
+ * sizes under each policy, relative to direct access.
+ */
+
+#include "common.hh"
+
+using namespace neonbench;
+
+int
+main()
+{
+    banner("Figure 5",
+           "standalone Throttle slowdown across request sizes");
+
+    SoloCache solo(2.0);
+    const std::vector<SchedKind> scheds = {
+        SchedKind::Timeslice, SchedKind::DisengagedTimeslice,
+        SchedKind::DisengagedFq};
+
+    Table table({"request size (us)", "timeslice", "disengaged-ts",
+                 "disengaged-fq"});
+
+    for (double us : {19.0, 38.0, 106.0, 215.0, 430.0, 860.0, 1700.0}) {
+        const WorkloadSpec w = WorkloadSpec::throttle(usec(us));
+        const double base = solo.roundUs(w);
+
+        std::vector<std::string> row = {Table::num(us, 0)};
+        for (SchedKind kind : scheds) {
+            ExperimentRunner runner(baseConfig(kind, 2.0));
+            const double round = runner.run({w}).tasks.at(0).meanRoundUs;
+            row.push_back(
+                Table::num(100.0 * (round / base - 1.0), 1) + "%");
+        }
+        table.addRow(std::move(row));
+    }
+
+    table.print();
+    std::cout << "\nPaper shape: engaged Timeslice costs grow sharply "
+                 "as requests shrink;\nDisengaged Timeslice stays under "
+                 "~2% and Disengaged Fair Queueing under ~5%\nat every "
+                 "size." << std::endl;
+    return 0;
+}

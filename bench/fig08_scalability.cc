@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 8 reproduction: four concurrent applications (Throttle with
+ * large requests plus BinarySearch, DCT and FFT) — per-task slowdown
+ * bars and overall efficiency line, per scheduler.
+ */
+
+#include "common.hh"
+
+#include "metrics/efficiency.hh"
+
+using namespace neonbench;
+
+int
+main()
+{
+    banner("Figure 8", "fairness and efficiency with four tasks");
+
+    SoloCache solo(3.0);
+    const std::vector<WorkloadSpec> mix = {
+        WorkloadSpec::throttle(usec(1700)),
+        WorkloadSpec::app("BinarySearch"),
+        WorkloadSpec::app("DCT"),
+        WorkloadSpec::app("FFT"),
+    };
+
+    Table table({"scheduler", "Throttle(1700us)", "BinarySearch", "DCT",
+                 "FFT", "efficiency"});
+
+    for (SchedKind kind : paperSchedulers) {
+        ExperimentRunner runner(baseConfig(kind, 4.0));
+        const RunResult r = runner.run(mix);
+
+        std::vector<double> solos, coruns;
+        std::vector<std::string> row = {schedKindName(kind)};
+        for (std::size_t i = 0; i < mix.size(); ++i) {
+            const double s = solo.roundUs(mix[i]);
+            solos.push_back(s);
+            coruns.push_back(r.tasks[i].meanRoundUs);
+            row.push_back(
+                Table::num(r.tasks[i].meanRoundUs / s, 2) + "x");
+        }
+        row.push_back(
+            Table::num(concurrencyEfficiency(solos, coruns), 2));
+        table.addRow(std::move(row));
+    }
+
+    table.print();
+    std::cout << "\nPaper shape: the fair schedulers hold every task "
+                 "near the expected 4-5x;\nefficiency drops ~13% for the "
+                 "engaged scheduler but only ~8%/~7% for the\n"
+                 "disengaged ones." << std::endl;
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Section 3 reproduction: throughput of a direct-mapped submission
+ * interface versus one that traps to the kernel on every request
+ * (the paper's Nvidia-direct vs AMD-trap comparison), for hand-tuned
+ * equal request sizes in the 10-100us range.
+ *
+ * The trap path costs a syscall entry plus the thin driver submission
+ * path; the "driver processing" variant adds nontrivial per-request
+ * driver work. The paper reports 8-35% throughput gain for the direct
+ * interface, and 48-170% when traps entail driver processing.
+ */
+
+#include "common.hh"
+
+using namespace neonbench;
+
+namespace
+{
+
+/** Round time of blocking requests with a given submission cost. */
+double
+roundUsWith(Tick extra_submit_cost, Tick request_size)
+{
+    ExperimentConfig cfg = baseConfig(SchedKind::Direct, 1.0);
+    // Model the trap-per-request stack by inflating the doorbell cost.
+    cfg.costs.directDoorbellWrite += extra_submit_cost;
+    ExperimentRunner runner(cfg);
+    const RunResult r =
+        runner.run({WorkloadSpec::throttle(request_size)});
+    return r.tasks.at(0).meanRoundUs;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Section 3",
+           "direct-mapped vs trap-per-request submission throughput");
+
+    CostModel costs;
+    const Tick trap = costs.syscallEntry + costs.driverThinPath;
+    const Tick trap_heavy = trap + costs.driverHeavyPath;
+
+    Table table({"request size (us)", "direct (req/s)", "trap (req/s)",
+                 "gain", "trap+driver (req/s)", "gain(driver)"});
+
+    for (double us : {10.0, 20.0, 40.0, 60.0, 80.0, 100.0}) {
+        const double direct = roundUsWith(0, usec(us));
+        const double trapped = roundUsWith(trap, usec(us));
+        const double heavy = roundUsWith(trap_heavy, usec(us));
+
+        const double tp_direct = 1e6 / direct;
+        const double tp_trap = 1e6 / trapped;
+        const double tp_heavy = 1e6 / heavy;
+
+        table.addRow({Table::num(us, 0), Table::num(tp_direct, 0),
+                      Table::num(tp_trap, 0),
+                      Table::num(100.0 * (tp_direct / tp_trap - 1.0), 1) +
+                          "%",
+                      Table::num(tp_heavy, 0),
+                      Table::num(100.0 * (tp_direct / tp_heavy - 1.0), 1) +
+                          "%"});
+    }
+
+    table.print();
+    std::cout << "\nPaper: direct access gains 8-35% over plain traps "
+                 "for 10-100us requests,\nand 48-170% when the trap "
+                 "entails nontrivial driver processing."
+              << std::endl;
+    return 0;
+}

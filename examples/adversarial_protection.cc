@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Protection demo: a well-behaved application shares the device with
+ * (a) a kernel that never terminates and (b) a greedy batcher. Under
+ * direct access the victim starves; under the NEON schedulers the
+ * infinite kernel's task is killed and the batcher is contained.
+ */
+
+#include <iostream>
+
+#include "neon/neon.hh"
+
+int
+main()
+{
+    using namespace neon;
+
+    std::cout << "Scenario A: victim vs an infinite-loop kernel\n\n";
+    {
+        Table table({"scheduler", "kills", "attacker fate",
+                     "victim rounds (2s)"});
+        for (SchedKind kind :
+             {SchedKind::Direct, SchedKind::Timeslice,
+              SchedKind::DisengagedTimeslice, SchedKind::DisengagedFq}) {
+            ExperimentConfig cfg;
+            cfg.sched = kind;
+            cfg.measure = sec(2);
+            cfg.timeslice.killThreshold = msec(100);
+            cfg.dfq.killThreshold = msec(100);
+            ExperimentRunner runner(cfg);
+
+            const RunResult r = runner.run({
+                WorkloadSpec::custom(
+                    "attacker",
+                    [](Task &t, std::uint64_t) {
+                        return infiniteKernelBody(t, 5, usec(100));
+                    }),
+                WorkloadSpec::throttle(usec(100)),
+            });
+
+            table.addRow({schedKindName(kind),
+                          std::to_string(r.kills),
+                          r.tasks[0].killed ? "killed" : "running",
+                          std::to_string(r.tasks[1].rounds)});
+        }
+        table.print();
+    }
+
+    std::cout << "\nScenario B: FFT vs a batching hog (8ms requests)\n\n";
+    {
+        Table table({"scheduler", "FFT slowdown", "hog slowdown"});
+        for (SchedKind kind :
+             {SchedKind::Direct, SchedKind::DisengagedTimeslice,
+              SchedKind::DisengagedFq}) {
+            ExperimentConfig cfg;
+            cfg.sched = kind;
+            cfg.measure = sec(3);
+            ExperimentRunner runner(cfg);
+
+            const auto sd = runner.slowdowns({
+                WorkloadSpec::app("FFT"),
+                WorkloadSpec::custom("hog",
+                                     [](Task &t, std::uint64_t) {
+                                         return batchingHogBody(
+                                             t, msec(8));
+                                     }),
+            });
+            table.addRow({schedKindName(kind),
+                          Table::num(sd[0], 2) + "x",
+                          Table::num(sd[1], 2) + "x"});
+        }
+        table.print();
+    }
+
+    std::cout << "\nWithout OS management a single misbehaving task "
+                 "owns the accelerator;\nwith it, the offender is "
+                 "killed or confined to its fair share.\n";
+    return 0;
+}

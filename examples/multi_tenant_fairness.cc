@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Multi-tenant fairness: four very different applications share one
+ * accelerator. Shows per-task slowdowns, device-time shares, and
+ * Jain's fairness index under every policy.
+ */
+
+#include <iostream>
+
+#include "neon/neon.hh"
+
+int
+main()
+{
+    using namespace neon;
+
+    const std::vector<WorkloadSpec> tenants = {
+        WorkloadSpec::app("MatrixMultiplication"), // large kernels
+        WorkloadSpec::app("DCT"),                  // small kernels
+        WorkloadSpec::app("glxgears"),             // graphics frames
+        WorkloadSpec::throttle(usec(1700)),        // batch hog
+    };
+
+    std::cout << "Four tenants on one GPU — slowdown vs solo direct "
+                 "access, device share,\nand Jain fairness index over "
+                 "the slowdowns.\n\n";
+
+    for (SchedKind kind : paperSchedulers) {
+        ExperimentConfig cfg;
+        cfg.sched = kind;
+        cfg.measure = sec(4);
+        ExperimentRunner runner(cfg);
+
+        const RunResult r = runner.run(tenants);
+
+        std::vector<double> sd;
+        Tick busy_total = 0;
+        for (const auto &t : r.tasks)
+            busy_total += t.gpuBusy;
+        for (std::size_t i = 0; i < tenants.size(); ++i) {
+            const double solo = runner.soloRoundUs(tenants[i]);
+            sd.push_back(solo > 0 ? r.tasks[i].meanRoundUs / solo : 0);
+        }
+
+        std::cout << "--- " << schedKindName(kind)
+                  << "  (Jain index " << Table::num(jainIndex(sd), 3)
+                  << ")\n";
+        Table table({"tenant", "slowdown", "device share"});
+        for (std::size_t i = 0; i < tenants.size(); ++i) {
+            table.addRow({r.tasks[i].label,
+                          Table::num(sd[i], 2) + "x",
+                          Table::num(100.0 * r.tasks[i].gpuBusy /
+                                         std::max<Tick>(1, busy_total),
+                                     1) + "%"});
+        }
+        table.print();
+        std::cout << "\n";
+    }
+
+    std::cout << "Direct access hands the device to whoever batches "
+                 "hardest; the disengaged\nschedulers even out the "
+                 "shares with almost no overhead.\n";
+    return 0;
+}

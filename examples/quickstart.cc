@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: two applications share the GPU under each scheduler.
+ *
+ * Demonstrates the core API: describe workloads, pick a policy, run,
+ * and read the paper's metrics (per-round slowdown vs. a solo
+ * direct-access baseline, plus concurrency efficiency).
+ */
+
+#include <iostream>
+
+#include "neon/neon.hh"
+
+int
+main()
+{
+    using namespace neon;
+
+    ExperimentConfig cfg;
+    cfg.measure = sec(3);
+
+    // The contenders: a small-request compute app (DCT from the AMD APP
+    // SDK suite) against the Throttle microbenchmark hogging the device
+    // with 1.7 ms requests.
+    const std::vector<WorkloadSpec> duo = {
+        WorkloadSpec::app("DCT"),
+        WorkloadSpec::throttle(usec(1700)),
+    };
+
+    std::cout << "DCT vs Throttle(1700us): per-task slowdown vs solo "
+                 "direct access\n\n";
+
+    Table table({"scheduler", "DCT", "Throttle", "efficiency"});
+
+    for (SchedKind kind : paperSchedulers) {
+        cfg.sched = kind;
+        ExperimentRunner runner(cfg);
+
+        const std::vector<double> sd = runner.slowdowns(duo);
+        const double eff = 1.0 / sd[0] + 1.0 / sd[1];
+
+        table.addRow({schedKindName(kind),
+                      Table::num(sd[0]) + "x",
+                      Table::num(sd[1]) + "x",
+                      Table::num(eff)});
+    }
+
+    table.print();
+
+    std::cout << "\nDirect access lets the large-request app crush DCT; "
+                 "the NEON schedulers\nrestore ~2x fair sharing, and "
+                 "the disengaged variants do so with near-direct\n"
+                 "efficiency.\n";
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Round-robin channel arbitration for one engine.
+ *
+ * The device cycles among channels with pending requests, processing one
+ * request per visit. Graphics channels may be configured with a penalty
+ * N: when compute channels are also pending, a graphics channel wins
+ * only one in N of its arbitration opportunities. This models the
+ * non-uniform internal scheduling the paper observed for OpenGL work
+ * (Section 5.3, the glxgears anomaly).
+ */
+
+#ifndef NEON_GPU_ARBITER_HH
+#define NEON_GPU_ARBITER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "gpu/channel.hh"
+#include "gpu/request.hh"
+
+namespace neon
+{
+
+/** Deterministic round-robin picker over registered channels. */
+class Arbiter
+{
+  public:
+    explicit Arbiter(int gfx_penalty = 1) : gfxPenalty(gfx_penalty) {}
+
+    /** Add a channel to the rotation. */
+    void
+    registerChannel(Channel *c)
+    {
+        rotation.push_back(c);
+    }
+
+    /** Remove a channel (teardown/abort). */
+    void
+    removeChannel(Channel *c)
+    {
+        for (std::size_t i = 0; i < rotation.size(); ++i) {
+            if (rotation[i] == c) {
+                rotation.erase(rotation.begin() + i);
+                if (cursor > i)
+                    --cursor;
+                if (cursor >= rotation.size())
+                    cursor = 0;
+                return;
+            }
+        }
+    }
+
+    std::size_t channelCount() const { return rotation.size(); }
+
+    /**
+     * Pick the next channel to serve, advancing the round-robin cursor.
+     * @return nullptr if no channel has pending work.
+     */
+    Channel *
+    pick()
+    {
+        if (rotation.empty())
+            return nullptr;
+
+        const std::size_t n = rotation.size();
+        Channel *fallback = nullptr;
+
+        bool computePending = false;
+        for (Channel *c : rotation) {
+            if (!c->ring().empty() &&
+                c->channelClass() != RequestClass::Graphics) {
+                computePending = true;
+                break;
+            }
+        }
+
+        for (std::size_t step = 0; step < n; ++step) {
+            Channel *c = rotation[(cursor + step) % n];
+            if (c->ring().empty())
+                continue;
+
+            const bool penalized = computePending && gfxPenalty > 1 &&
+                c->channelClass() == RequestClass::Graphics;
+            if (penalized && c->arbCredit > 0) {
+                --c->arbCredit;
+                if (!fallback)
+                    fallback = c;
+                continue;
+            }
+
+            c->arbCredit = penalized ? gfxPenalty - 1 : 0;
+            cursor = (cursor + step + 1) % n;
+            return c;
+        }
+
+        // Only penalized channels had work and all were skipped this
+        // pass; serve the first of them rather than idle the engine.
+        if (fallback) {
+            fallback->arbCredit = gfxPenalty - 1;
+            return fallback;
+        }
+        return nullptr;
+    }
+
+  private:
+    std::vector<Channel *> rotation;
+    std::size_t cursor = 0;
+    int gfxPenalty;
+};
+
+} // namespace neon
+
+#endif // NEON_GPU_ARBITER_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * GPU context: the device-side address space a task's channels live in.
+ *
+ * Requests within one context may be causally related; NEON never
+ * reorders them relative to each other. Contexts are also the unit the
+ * execute engine pays a switch penalty between.
+ */
+
+#ifndef NEON_GPU_CONTEXT_HH
+#define NEON_GPU_CONTEXT_HH
+
+#include <vector>
+
+namespace neon
+{
+
+class Channel;
+
+/** Device-side context owned by one task. */
+class GpuContext
+{
+  public:
+    GpuContext(int id, int task_id) : ctxId(id), owningTask(task_id) {}
+
+    GpuContext(const GpuContext &) = delete;
+    GpuContext &operator=(const GpuContext &) = delete;
+
+    int id() const { return ctxId; }
+    int taskId() const { return owningTask; }
+
+    void addChannel(Channel *c) { chans.push_back(c); }
+
+    void
+    removeChannel(Channel *c)
+    {
+        std::erase(chans, c);
+    }
+
+    const std::vector<Channel *> &channels() const { return chans; }
+
+  private:
+    int ctxId;
+    int owningTask;
+    std::vector<Channel *> chans;
+};
+
+} // namespace neon
+
+#endif // NEON_GPU_CONTEXT_HH

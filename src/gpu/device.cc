@@ -1,0 +1,200 @@
+#include "gpu/device.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace neon
+{
+
+GpuDevice::GpuDevice(EventQueue &eq, const DeviceConfig &cfg,
+                     UsageMeter &meter)
+    : eq(eq), cfg(cfg), meter(meter),
+      engines{Engine(EngineKind::Execute, cfg.gfxArbPenalty),
+              Engine(EngineKind::Copy, 1)}
+{
+}
+
+GpuContext *
+GpuDevice::createContext(int task_id)
+{
+    contexts.push_back(std::make_unique<GpuContext>(nextCtxId++, task_id));
+    return contexts.back().get();
+}
+
+void
+GpuDevice::destroyContext(GpuContext *ctx)
+{
+    if (!ctx)
+        return;
+    if (!ctx->channels().empty())
+        panic("destroying context ", ctx->id(), " with live channels");
+    std::erase_if(contexts, [ctx](const std::unique_ptr<GpuContext> &p) {
+        return p.get() == ctx;
+    });
+}
+
+Channel *
+GpuDevice::createChannel(GpuContext &ctx, RequestClass cls)
+{
+    if (liveChannels >= cfg.maxChannels)
+        return nullptr; // device channel pool exhausted
+
+    channels.push_back(std::make_unique<Channel>(
+        nextChanId++, ctx, cls, cfg.ringCapacity));
+    Channel *c = channels.back().get();
+    ctx.addChannel(c);
+    engineOf(c->engine()).arb.registerChannel(c);
+    ++liveChannels;
+    return c;
+}
+
+void
+GpuDevice::destroyChannel(Channel *c)
+{
+    if (!c)
+        return;
+    if (c->busyOnDevice())
+        panic("destroying channel ", c->id(), " while busy; abort first");
+
+    engineOf(c->engine()).arb.removeChannel(c);
+    c->context().removeChannel(c);
+    std::erase_if(channels, [c](const std::unique_ptr<Channel> &p) {
+        return p.get() == c;
+    });
+    --liveChannels;
+}
+
+void
+GpuDevice::submit(Channel &c, GpuRequest req)
+{
+    if (!c.ring().push(req))
+        panic("ring buffer overflow on channel ", c.id());
+    c.noteSubmitted(req.ref);
+
+    if (traceSubmit)
+        traceSubmit(c, req, eq.now());
+
+    tryDispatch(engineOf(c.engine()));
+}
+
+void
+GpuDevice::tryDispatch(Engine &e)
+{
+    if (e.busy)
+        return;
+
+    Channel *c = e.arb.pick();
+    if (!c)
+        return;
+
+    GpuRequest req = c->ring().pop();
+
+    // The command fetcher drains consecutive trivial (state-change)
+    // entries together with the request that follows them in the same
+    // ring — the device does not rearbitrate after every tiny entry.
+    while (req.cls == RequestClass::Trivial && !c->ring().empty()) {
+        GpuRequest next = c->ring().pop();
+        next.serviceTime += req.serviceTime;
+        req = next;
+    }
+
+    // The very first dispatch after power-on pays no switch penalty.
+    Tick switch_cost = 0;
+    if (e.lastContext != -1) {
+        if (e.lastContext != c->context().id())
+            switch_cost = cfg.contextSwitchCost;
+        else if (e.lastChannel != c->id())
+            switch_cost = cfg.channelSwitchCost;
+
+        // Crossing between the graphics and compute pipelines costs
+        // extra on the execute engine (trivia inherit their channel's
+        // side of the fence).
+        if (e.kind == EngineKind::Execute) {
+            const bool was_gfx =
+                e.lastClass == RequestClass::Graphics;
+            const bool is_gfx =
+                c->channelClass() == RequestClass::Graphics;
+            if (was_gfx != is_gfx)
+                switch_cost += cfg.pipelineSwitchCost;
+        }
+    }
+    if (switch_cost > 0)
+        meter.recordSwitch(switch_cost);
+
+    e.lastContext = c->context().id();
+    e.lastChannel = c->id();
+    e.lastClass = c->channelClass();
+    e.busy = true;
+    e.current = c;
+    e.active = req;
+    e.serviceStart = eq.now() + switch_cost;
+    c->setBusyOnDevice(true);
+
+    if (!req.isInfinite()) {
+        e.completionEvent = eq.schedule(
+            e.serviceStart + req.serviceTime, [this, &e] { finish(e); });
+    } else {
+        e.completionEvent = invalidEventId;
+    }
+}
+
+void
+GpuDevice::finish(Engine &e)
+{
+    Channel *c = e.current;
+    const GpuRequest req = e.active;
+    const Tick end = eq.now();
+    const Tick service = end - e.serviceStart;
+    const int task_id = c->context().taskId();
+
+    meter.recordBusy(task_id, service, req.cls);
+    meter.noteRequest(task_id);
+
+    e.busy = false;
+    e.current = nullptr;
+    e.completionEvent = invalidEventId;
+    c->setBusyOnDevice(false);
+
+    if (traceComplete)
+        traceComplete(*c, req, e.serviceStart, end);
+
+    // Reference-counter write: user spinners wake now; the kernel only
+    // notices at its next poll.
+    c->complete(req.ref);
+    if (c->kernelCompletionHook)
+        c->kernelCompletionHook(req.ref, end, service);
+
+    tryDispatch(e);
+}
+
+void
+GpuDevice::abortChannel(Channel &c)
+{
+    Engine &e = engineOf(c.engine());
+
+    if (e.busy && e.current == &c) {
+        if (e.completionEvent != invalidEventId) {
+            eq.cancel(e.completionEvent);
+            e.completionEvent = invalidEventId;
+        }
+
+        // The aborted request did occupy the device until now.
+        const Tick occupied =
+            std::max<Tick>(0, eq.now() - e.serviceStart);
+        meter.recordBusy(c.context().taskId(), occupied, e.active.cls);
+
+        e.current = nullptr;
+        c.setBusyOnDevice(false);
+
+        // Engine stays busy for the cleanup period, then resumes.
+        eq.scheduleIn(cfg.abortCleanupCost, [this, &e] {
+            e.busy = false;
+            tryDispatch(e);
+        });
+    }
+
+    c.ring().clear();
+}
+
+} // namespace neon

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The simulated accelerator.
+ *
+ * Behavioural contract (all the schedulers ever rely on):
+ *  - requests enter per-channel ring buffers via doorbell notification
+ *    and are processed in FIFO order within a channel;
+ *  - the execute engine cycles round-robin among channels with pending
+ *    work (graphics channels optionally penalized), one request per
+ *    visit, paying a context-switch cost between contexts;
+ *  - a separate copy engine serves DMA channels concurrently;
+ *  - on completion the device writes the request's reference value to
+ *    the channel's reference counter (visible to user spinners at once,
+ *    to the kernel at polling granularity);
+ *  - requests may run forever (malicious/buggy); the only remedy is
+ *    aborting the channel, which models killing the owning process and
+ *    letting the driver's exit protocol reclaim resources.
+ */
+
+#ifndef NEON_GPU_DEVICE_HH
+#define NEON_GPU_DEVICE_HH
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gpu/arbiter.hh"
+#include "gpu/channel.hh"
+#include "gpu/context.hh"
+#include "gpu/device_config.hh"
+#include "gpu/request.hh"
+#include "gpu/usage_meter.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace neon
+{
+
+/** The accelerator device model. */
+class GpuDevice
+{
+  public:
+    GpuDevice(EventQueue &eq, const DeviceConfig &cfg, UsageMeter &meter);
+
+    GpuDevice(const GpuDevice &) = delete;
+    GpuDevice &operator=(const GpuDevice &) = delete;
+
+    const DeviceConfig &config() const { return cfg; }
+
+    /** Create a device context for a task. */
+    GpuContext *createContext(int task_id);
+
+    /** Tear down a context; all its channels must be gone already. */
+    void destroyContext(GpuContext *ctx);
+
+    /**
+     * Allocate a channel in @p ctx.
+     * @return nullptr when the device's channel pool is exhausted
+     *         (the Section 6.3 denial-of-service scenario).
+     */
+    Channel *createChannel(GpuContext &ctx, RequestClass cls);
+
+    /** Remove an idle channel. Busy channels must be aborted first. */
+    void destroyChannel(Channel *c);
+
+    /**
+     * Doorbell landing: a request descriptor is now visible in the
+     * channel's ring buffer. Called by the kernel model once the user's
+     * store retires (directly or after interception).
+     */
+    void submit(Channel &c, GpuRequest req);
+
+    /**
+     * Abort a channel: cancel its active request (if any) without
+     * writing the reference counter, drop queued requests, and occupy
+     * the engine for the cleanup period. Models the process-kill path.
+     */
+    void abortChannel(Channel &c);
+
+    bool engineBusy(EngineKind k) const { return engineOf(k).busy; }
+    Channel *engineCurrent(EngineKind k) const { return engineOf(k).current; }
+
+    /** Start time of the request currently on the engine (debug/tests). */
+    Tick engineServiceStart(EngineKind k) const
+    {
+        return engineOf(k).serviceStart;
+    }
+
+    std::size_t channelsInUse() const { return liveChannels; }
+    std::size_t freeChannels() const
+    {
+        return cfg.maxChannels - liveChannels;
+    }
+
+    /** Ground-truth tracing hooks (metrics only; not scheduler-visible). */
+    std::function<void(Channel &, const GpuRequest &, Tick)> traceSubmit;
+    std::function<void(Channel &, const GpuRequest &, Tick, Tick)>
+        traceComplete;
+
+  private:
+    struct Engine
+    {
+        EngineKind kind = EngineKind::Execute;
+        Arbiter arb;
+        bool busy = false;
+        Channel *current = nullptr;
+        GpuRequest active;
+        Tick serviceStart = 0;
+        EventId completionEvent = invalidEventId;
+        int lastContext = -1;
+        int lastChannel = -1;
+        RequestClass lastClass = RequestClass::Compute;
+
+        explicit Engine(EngineKind k, int gfx_penalty)
+            : kind(k), arb(gfx_penalty)
+        {
+        }
+    };
+
+    Engine &engineOf(EngineKind k)
+    {
+        return k == EngineKind::Execute ? engines[0] : engines[1];
+    }
+
+    const Engine &engineOf(EngineKind k) const
+    {
+        return k == EngineKind::Execute ? engines[0] : engines[1];
+    }
+
+    void tryDispatch(Engine &e);
+    void finish(Engine &e);
+
+    EventQueue &eq;
+    DeviceConfig cfg;
+    UsageMeter &meter;
+
+    std::array<Engine, 2> engines;
+    std::vector<std::unique_ptr<GpuContext>> contexts;
+    std::vector<std::unique_ptr<Channel>> channels;
+    std::size_t liveChannels = 0;
+    int nextCtxId = 1;
+    int nextChanId = 1;
+};
+
+} // namespace neon
+
+#endif // NEON_GPU_DEVICE_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Calibration constants for the device model (Kepler-class defaults).
+ */
+
+#ifndef NEON_GPU_DEVICE_CONFIG_HH
+#define NEON_GPU_DEVICE_CONFIG_HH
+
+#include <cstddef>
+
+#include "sim/types.hh"
+
+namespace neon
+{
+
+/**
+ * Timing and capacity parameters of the simulated accelerator.
+ *
+ * Defaults approximate the paper's GTX670 ("Kepler") as far as its
+ * externally visible behaviour goes: fast context switching among
+ * channels, a fixed pool of channels (48 contexts x (compute + DMA)
+ * exhaust it), and round-robin cycling among channels with pending
+ * requests. Graphics channels receive a configurable arbitration
+ * penalty, reproducing the non-uniform internal scheduling the paper
+ * observed for OpenGL workloads (glxgears completing at roughly 1/3 the
+ * rate of a compute co-runner).
+ */
+struct DeviceConfig
+{
+    /** Total channels available on the device (Sec. 6.3 DoS bound). */
+    std::size_t maxChannels = 96;
+
+    /** Ring-buffer entries per channel. */
+    std::size_t ringCapacity = 512;
+
+    /** Cost of switching the execute engine between GPU contexts. */
+    Tick contextSwitchCost = usec(5);
+
+    /** Cost of switching between channels of the same context. */
+    Tick channelSwitchCost = usec(1);
+
+    /**
+     * Cost of reconfiguring the execute engine between the graphics
+     * and compute pipelines. This is what starves graphics work when a
+     * compute co-runner keeps the device busy (the paper's glxgears
+     * observation: gears' requests complete at roughly a third of the
+     * co-runner's rate during free-run periods), and it is invisible
+     * to a size-based usage estimator.
+     */
+    Tick pipelineSwitchCost = usec(25);
+
+    /**
+     * Graphics channels win arbitration only once per this many
+     * opportunities when competing with compute channels (1 = uniform
+     * round-robin per channel, the default).
+     */
+    int gfxArbPenalty = 1;
+
+    /** Device-side cleanup time when a channel is aborted (task kill). */
+    Tick abortCleanupCost = usec(50);
+};
+
+} // namespace neon
+
+#endif // NEON_GPU_DEVICE_CONFIG_HH

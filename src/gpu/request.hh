@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The unit of work submitted to the accelerator.
+ */
+
+#ifndef NEON_GPU_REQUEST_HH
+#define NEON_GPU_REQUEST_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace neon
+{
+
+/**
+ * Classes of acceleration requests. The execution engine serves compute
+ * and graphics channels; a separate copy engine serves DMA channels.
+ * "Trivial" requests model the mode/state-change commands the paper
+ * observed, which occupy the doorbell path (and fault when intercepted)
+ * but take almost no device time and are never awaited by the app.
+ */
+enum class RequestClass { Compute, Graphics, Dma, Trivial };
+
+/** Engines inside the device. */
+enum class EngineKind { Execute, Copy };
+
+/** Which engine serves a given request class. */
+constexpr EngineKind
+engineFor(RequestClass c)
+{
+    return c == RequestClass::Dma ? EngineKind::Copy : EngineKind::Execute;
+}
+
+/**
+ * One acceleration request as it sits in a channel's ring buffer.
+ *
+ * The reference value is assigned by the user-level library before the
+ * doorbell write (it is part of the command stream); the device writes
+ * it to the channel's reference counter upon completion.
+ */
+struct GpuRequest
+{
+    RequestClass cls = RequestClass::Compute;
+
+    /** Device occupancy; maxTick means "runs forever" (malicious/buggy). */
+    Tick serviceTime = 0;
+
+    /** Per-channel monotonically increasing completion reference. */
+    std::uint64_t ref = 0;
+
+    /** True for requests whose completion the application awaits. */
+    bool awaited = true;
+
+    bool isInfinite() const { return serviceTime >= maxTick; }
+};
+
+} // namespace neon
+
+#endif // NEON_GPU_REQUEST_HH

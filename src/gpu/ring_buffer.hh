@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Bounded FIFO of submitted-but-unprocessed requests for one channel.
+ */
+
+#ifndef NEON_GPU_RING_BUFFER_HH
+#define NEON_GPU_RING_BUFFER_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "gpu/request.hh"
+
+namespace neon
+{
+
+/**
+ * The channel's ring of pending request descriptors. The device pops
+ * entries in FIFO order; user code must not submit when full (real
+ * libraries spin on free space; our workloads bound their pipelining
+ * depth well below the capacity).
+ */
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(std::size_t capacity) : cap(capacity) {}
+
+    bool empty() const { return q.empty(); }
+    bool full() const { return q.size() >= cap; }
+    std::size_t size() const { return q.size(); }
+    std::size_t capacity() const { return cap; }
+
+    /** Append a request; returns false (drop) if full. */
+    bool
+    push(const GpuRequest &r)
+    {
+        if (full())
+            return false;
+        q.push_back(r);
+        return true;
+    }
+
+    /** Front request; undefined if empty. */
+    const GpuRequest &front() const { return q.front(); }
+
+    /** Pop the front request. */
+    GpuRequest
+    pop()
+    {
+        GpuRequest r = q.front();
+        q.pop_front();
+        return r;
+    }
+
+    /** Drop everything (abort/teardown). */
+    void clear() { q.clear(); }
+
+  private:
+    std::size_t cap;
+    std::deque<GpuRequest> q;
+};
+
+} // namespace neon
+
+#endif // NEON_GPU_RING_BUFFER_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ground-truth device-time accounting.
+ *
+ * The meter records exactly how the device spent its time. It exists for
+ * metrics and tests only: schedulers must not read it (the whole point
+ * of the paper is that the OS lacks this information and must estimate
+ * it through interception and sampling).
+ */
+
+#ifndef NEON_GPU_USAGE_METER_HH
+#define NEON_GPU_USAGE_METER_HH
+
+#include <cstdint>
+#include <map>
+
+#include "gpu/request.hh"
+#include "sim/types.hh"
+
+namespace neon
+{
+
+/** Per-task and aggregate busy-time counters for the device. */
+class UsageMeter
+{
+  public:
+    /** Attribute service time to a task. */
+    void
+    recordBusy(int task_id, Tick duration, RequestClass cls)
+    {
+        perTask[task_id] += duration;
+        busy += duration;
+        if (cls == RequestClass::Dma)
+            dmaBusy += duration;
+    }
+
+    /** Record arbitration overhead (context/channel switches). */
+    void recordSwitch(Tick duration) { switchOverhead += duration; }
+
+    /** Record completed request count for a task. */
+    void noteRequest(int task_id) { ++requests[task_id]; }
+
+    Tick busyOf(int task_id) const
+    {
+        auto it = perTask.find(task_id);
+        return it == perTask.end() ? 0 : it->second;
+    }
+
+    std::uint64_t requestsOf(int task_id) const
+    {
+        auto it = requests.find(task_id);
+        return it == requests.end() ? 0 : it->second;
+    }
+
+    Tick totalBusy() const { return busy; }
+    Tick totalDmaBusy() const { return dmaBusy; }
+    Tick totalSwitchOverhead() const { return switchOverhead; }
+
+    const std::map<int, Tick> &perTaskBusy() const { return perTask; }
+
+    void
+    reset()
+    {
+        perTask.clear();
+        requests.clear();
+        busy = dmaBusy = switchOverhead = 0;
+    }
+
+  private:
+    std::map<int, Tick> perTask;
+    std::map<int, std::uint64_t> requests;
+    Tick busy = 0;
+    Tick dmaBusy = 0;
+    Tick switchOverhead = 0;
+};
+
+} // namespace neon
+
+#endif // NEON_GPU_USAGE_METER_HH

@@ -1,0 +1,240 @@
+#include "harness/experiment.hh"
+
+#include <utility>
+
+#include "metrics/reporter.hh"
+#include "sched/direct.hh"
+#include "sched/disengaged_timeslice.hh"
+#include "sim/logging.hh"
+#include "workload/synthetic_app.hh"
+
+namespace neon
+{
+
+const std::vector<SchedKind> paperSchedulers = {
+    SchedKind::Direct,
+    SchedKind::Timeslice,
+    SchedKind::DisengagedTimeslice,
+    SchedKind::DisengagedFq,
+};
+
+std::string
+schedKindName(SchedKind k)
+{
+    switch (k) {
+      case SchedKind::Direct:
+        return "direct";
+      case SchedKind::Timeslice:
+        return "timeslice";
+      case SchedKind::DisengagedTimeslice:
+        return "disengaged-ts";
+      case SchedKind::DisengagedFq:
+        return "disengaged-fq";
+      case SchedKind::EngagedFq:
+        return "engaged-fq";
+    }
+    return "?";
+}
+
+WorkloadSpec
+WorkloadSpec::app(const std::string &profile_name)
+{
+    WorkloadSpec s;
+    s.kind = Kind::Profile;
+    s.profileName = profile_name;
+    s.label = profile_name;
+    return s;
+}
+
+WorkloadSpec
+WorkloadSpec::throttle(Tick request_size, double sleep_ratio)
+{
+    WorkloadSpec s;
+    s.kind = Kind::Throttle;
+    s.throttleParams.requestSize = request_size;
+    s.throttleParams.sleepRatio = sleep_ratio;
+    s.label = "Throttle(" + Table::num(toUsec(request_size), 0) + "us";
+    if (sleep_ratio > 0.0)
+        s.label += "," + Table::num(100.0 * sleep_ratio, 0) + "%off";
+    s.label += ")";
+    return s;
+}
+
+WorkloadSpec
+WorkloadSpec::custom(std::string label,
+                     std::function<Co(Task &, std::uint64_t)> body)
+{
+    WorkloadSpec s;
+    s.kind = Kind::Custom;
+    s.label = std::move(label);
+    s.customBody = std::move(body);
+    return s;
+}
+
+const TaskResult &
+RunResult::byLabel(const std::string &label) const
+{
+    for (const auto &t : tasks) {
+        if (t.label == label)
+            return t;
+    }
+    panic("no task labelled ", label, " in results");
+}
+
+namespace
+{
+
+std::unique_ptr<Scheduler>
+makeScheduler(const ExperimentConfig &cfg, KernelModule &kernel)
+{
+    switch (cfg.sched) {
+      case SchedKind::Direct:
+        return std::make_unique<DirectScheduler>(kernel);
+      case SchedKind::Timeslice:
+        return std::make_unique<TimesliceScheduler>(kernel, cfg.timeslice);
+      case SchedKind::DisengagedTimeslice:
+        return std::make_unique<DisengagedTimeslice>(kernel, cfg.timeslice);
+      case SchedKind::DisengagedFq:
+        return std::make_unique<DisengagedFairQueueing>(kernel, cfg.dfq);
+      case SchedKind::EngagedFq:
+        return std::make_unique<EngagedFairQueueing>(kernel, cfg.engagedFq);
+    }
+    panic("unknown scheduler kind");
+}
+
+} // namespace
+
+World::World(const ExperimentConfig &cfg)
+    : device(eq, cfg.device, meter), kernel(eq, device, cfg.costs,
+                                            cfg.channelPolicy),
+      cfg(cfg)
+{
+    kernel.polling().setPeriod(cfg.pollPeriod);
+    sched = makeScheduler(cfg, kernel);
+    kernel.setScheduler(sched.get());
+    if (auto *dfq = dynamic_cast<DisengagedFairQueueing *>(sched.get()))
+        dfq->setVendorCounters(&meter); // only used in DeviceCounters mode
+    if (cfg.collectTraces)
+        trace.attach(device);
+}
+
+World::~World() = default;
+
+Task &
+World::spawn(const WorkloadSpec &spec)
+{
+    auto task = std::make_unique<Task>(kernel, spec.label);
+    Task &ref = *task;
+    taskStore.push_back(std::move(task));
+    specs.push_back(spec);
+    return ref;
+}
+
+void
+World::start()
+{
+    for (std::size_t i = 0; i < taskStore.size(); ++i) {
+        Task &t = *taskStore[i];
+        const WorkloadSpec &spec = specs[i];
+        const std::uint64_t seed =
+            cfg.seed * 0x9e3779b9u + 0x1000 * (i + 1);
+
+        Co body;
+        switch (spec.kind) {
+          case WorkloadSpec::Kind::Profile:
+            body = syntheticAppBody(
+                t, AppRegistry::byName(spec.profileName), seed);
+            break;
+          case WorkloadSpec::Kind::Throttle:
+            body = throttleBody(t, spec.throttleParams, seed);
+            break;
+          case WorkloadSpec::Kind::Custom:
+            body = spec.customBody(t, seed);
+            break;
+        }
+        kernel.startTask(t, std::move(body));
+    }
+    kernel.start();
+}
+
+void
+World::beginMeasurement()
+{
+    measureStart = eq.now();
+    busyAtMeasureStart = meter.totalBusy();
+    switchAtMeasureStart = meter.totalSwitchOverhead();
+    baselineRequests.clear();
+    baselineBusy.clear();
+    for (auto &t : taskStore) {
+        t->resetStats();
+        baselineRequests.push_back(meter.requestsOf(t->pid()));
+        baselineBusy.push_back(meter.busyOf(t->pid()));
+    }
+    trace.reset();
+}
+
+RunResult
+World::results()
+{
+    RunResult r;
+    r.elapsed = eq.now() - measureStart;
+    r.deviceBusy = meter.totalBusy() - busyAtMeasureStart;
+    r.switchOverhead =
+        meter.totalSwitchOverhead() - switchAtMeasureStart;
+    r.kills = kernel.killCount();
+
+    for (std::size_t i = 0; i < taskStore.size(); ++i) {
+        Task &t = *taskStore[i];
+        TaskResult tr;
+        tr.label = specs[i].label;
+        tr.pid = t.pid();
+        tr.meanRoundUs = t.roundTimes().mean();
+        tr.rounds = t.roundTimes().count();
+        tr.gpuBusy = meter.busyOf(t.pid()) -
+            (i < baselineBusy.size() ? baselineBusy[i] : 0);
+        tr.requests = meter.requestsOf(t.pid()) -
+            (i < baselineRequests.size() ? baselineRequests[i] : 0);
+        tr.killed = t.killed();
+        r.tasks.push_back(std::move(tr));
+    }
+    return r;
+}
+
+RunResult
+ExperimentRunner::run(const std::vector<WorkloadSpec> &specs) const
+{
+    World world(cfg);
+    for (const auto &s : specs)
+        world.spawn(s);
+    world.start();
+    world.runFor(cfg.warmup);
+    world.beginMeasurement();
+    world.runFor(cfg.measure);
+    return world.results();
+}
+
+double
+ExperimentRunner::soloRoundUs(const WorkloadSpec &spec) const
+{
+    ExperimentConfig solo_cfg = cfg;
+    solo_cfg.sched = SchedKind::Direct;
+    ExperimentRunner solo(solo_cfg);
+    const RunResult r = solo.run({spec});
+    return r.tasks.at(0).meanRoundUs;
+}
+
+std::vector<double>
+ExperimentRunner::slowdowns(const std::vector<WorkloadSpec> &specs) const
+{
+    const RunResult co = run(specs);
+    std::vector<double> out;
+    out.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const double solo = soloRoundUs(specs[i]);
+        const double corun = co.tasks.at(i).meanRoundUs;
+        out.push_back(solo > 0.0 ? corun / solo : 0.0);
+    }
+    return out;
+}
+
+} // namespace neon

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Experiment harness: assembles a world (device + kernel + scheduler +
+ * tasks), runs warmup and measurement windows, and reports the paper's
+ * metrics (per-round times, slowdowns, concurrency efficiency).
+ */
+
+#ifndef NEON_HARNESS_EXPERIMENT_HH
+#define NEON_HARNESS_EXPERIMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/device.hh"
+#include "gpu/usage_meter.hh"
+#include "metrics/request_trace.hh"
+#include "os/kernel.hh"
+#include "os/task.hh"
+#include "sched/disengaged_fq.hh"
+#include "sched/engaged_fq.hh"
+#include "sched/timeslice.hh"
+#include "sim/event_queue.hh"
+#include "workload/app_profile.hh"
+#include "workload/throttle.hh"
+
+namespace neon
+{
+
+/** Which policy to install. */
+enum class SchedKind
+{
+    Direct,
+    Timeslice,
+    DisengagedTimeslice,
+    DisengagedFq,
+    EngagedFq,
+};
+
+/** Display name of a policy. */
+std::string schedKindName(SchedKind k);
+
+/** The four policies evaluated in the paper's figures. */
+extern const std::vector<SchedKind> paperSchedulers;
+
+/** Full experiment configuration. */
+struct ExperimentConfig
+{
+    SchedKind sched = SchedKind::Direct;
+
+    DeviceConfig device;
+    CostModel costs;
+    ChannelPolicy channelPolicy;
+    Tick pollPeriod = msec(1);
+
+    TimesliceConfig timeslice;
+    DfqConfig dfq;
+    EngagedFqConfig engagedFq;
+
+    Tick warmup = msec(400);
+    Tick measure = sec(4);
+    std::uint64_t seed = 42;
+
+    /** Attach a RequestTrace during measurement (Table 1 / Fig. 2). */
+    bool collectTraces = false;
+};
+
+/** One task's workload description. */
+struct WorkloadSpec
+{
+    /** Profile-driven synthetic app. */
+    static WorkloadSpec app(const std::string &profile_name);
+
+    /** Throttle microbenchmark. */
+    static WorkloadSpec throttle(Tick request_size, double sleep_ratio = 0.0);
+
+    /** Arbitrary body (adversaries, custom scenarios). */
+    static WorkloadSpec
+    custom(std::string label,
+           std::function<Co(Task &, std::uint64_t)> body);
+
+    std::string label;
+    enum class Kind { Profile, Throttle, Custom } kind = Kind::Profile;
+    std::string profileName;
+    ThrottleParams throttleParams;
+    std::function<Co(Task &, std::uint64_t)> customBody;
+};
+
+/** Per-task outcome of a run. */
+struct TaskResult
+{
+    std::string label;
+    int pid = 0;
+    double meanRoundUs = 0.0;
+    std::uint64_t rounds = 0;
+    Tick gpuBusy = 0;           ///< ground-truth device time (measurement)
+    std::uint64_t requests = 0; ///< completed device requests
+    bool killed = false;
+};
+
+/** Whole-run outcome. */
+struct RunResult
+{
+    std::vector<TaskResult> tasks;
+    Tick elapsed = 0;
+    Tick deviceBusy = 0;       ///< execute-engine busy (measurement window)
+    Tick switchOverhead = 0;
+    std::uint64_t kills = 0;
+
+    const TaskResult &byLabel(const std::string &label) const;
+};
+
+/**
+ * An assembled simulation world. Exposed so tests and examples can
+ * poke at internals; benches normally go through ExperimentRunner.
+ */
+class World
+{
+  public:
+    explicit World(const ExperimentConfig &cfg);
+    ~World();
+
+    World(const World &) = delete;
+    World &operator=(const World &) = delete;
+
+    /** Create a task running @p spec; call before start(). */
+    Task &spawn(const WorkloadSpec &spec);
+
+    /** Start the kernel (polling + policy) and all spawned tasks. */
+    void start();
+
+    /** Run for @p d simulated time. */
+    void runFor(Tick d) { eq.runFor(d); }
+
+    /** Begin the measurement window: clear all statistics. */
+    void beginMeasurement();
+
+    /** Harvest results since beginMeasurement(). */
+    RunResult results();
+
+    EventQueue eq;
+    UsageMeter meter;
+    GpuDevice device;
+    KernelModule kernel;
+    std::unique_ptr<Scheduler> sched;
+    RequestTrace trace;
+
+  private:
+    ExperimentConfig cfg;
+    std::vector<std::unique_ptr<Task>> taskStore;
+    std::vector<WorkloadSpec> specs;
+    std::vector<std::uint64_t> baselineRequests;
+    std::vector<Tick> baselineBusy;
+    Tick measureStart = 0;
+    Tick busyAtMeasureStart = 0;
+    Tick switchAtMeasureStart = 0;
+};
+
+/** Convenience driver for the common run patterns. */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(ExperimentConfig cfg) : cfg(std::move(cfg)) {}
+
+    /** Run the given workloads together under cfg. */
+    RunResult run(const std::vector<WorkloadSpec> &specs) const;
+
+    /**
+     * Solo baseline: run one workload alone under direct access (the
+     * paper's normalization basis). Returns the mean round time in us.
+     */
+    double soloRoundUs(const WorkloadSpec &spec) const;
+
+    /**
+     * Slowdowns of each workload in a co-run relative to its solo
+     * direct-access baseline, in spec order.
+     */
+    std::vector<double>
+    slowdowns(const std::vector<WorkloadSpec> &specs) const;
+
+    const ExperimentConfig &config() const { return cfg; }
+    ExperimentConfig &config() { return cfg; }
+
+  private:
+    ExperimentConfig cfg;
+};
+
+} // namespace neon
+
+#endif // NEON_HARNESS_EXPERIMENT_HH

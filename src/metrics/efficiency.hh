@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The paper's evaluation metrics (Section 5.3).
+ */
+
+#ifndef NEON_METRICS_EFFICIENCY_HH
+#define NEON_METRICS_EFFICIENCY_HH
+
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace neon
+{
+
+/**
+ * Concurrency efficiency: sum over tasks of (solo round time / co-run
+ * round time). 1.0 means resources were neither lost nor gained; < 1
+ * indicates lost resources (e.g., context-switch costs or scheduler
+ * idleness); > 1 indicates synergy (e.g., DMA/compute overlap).
+ */
+inline double
+concurrencyEfficiency(const std::vector<double> &solo_round_us,
+                      const std::vector<double> &corun_round_us)
+{
+    if (solo_round_us.size() != corun_round_us.size())
+        panic("efficiency: mismatched series");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < solo_round_us.size(); ++i) {
+        if (corun_round_us[i] > 0.0)
+            sum += solo_round_us[i] / corun_round_us[i];
+    }
+    return sum;
+}
+
+/** Per-task slowdown (normalized runtime): co-run / solo. */
+inline double
+slowdown(double solo_round_us, double corun_round_us)
+{
+    return solo_round_us > 0.0 ? corun_round_us / solo_round_us : 0.0;
+}
+
+/** Jain's fairness index over per-task slowdowns. */
+inline double
+jainIndex(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 1.0;
+    double s = 0.0, s2 = 0.0;
+    for (double x : xs) {
+        s += x;
+        s2 += x * x;
+    }
+    if (s2 <= 0.0)
+        return 1.0;
+    return (s * s) / (static_cast<double>(xs.size()) * s2);
+}
+
+} // namespace neon
+
+#endif // NEON_METRICS_EFFICIENCY_HH

@@ -1,0 +1,52 @@
+#include "metrics/request_trace.hh"
+
+#include "sim/logging.hh"
+
+namespace neon
+{
+
+void
+RequestTrace::attach(GpuDevice &device)
+{
+    device.traceSubmit = [this](Channel &c, const GpuRequest &,
+                                Tick when) {
+        const int task_id = c.context().taskId();
+        auto &pt = perTask[task_id];
+        ++pt.submissions;
+
+        auto it = lastSubmit.find(task_id);
+        if (it != lastSubmit.end())
+            pt.interArrivalUs.add(toUsec(when - it->second));
+        lastSubmit[task_id] = when;
+    };
+
+    device.traceComplete = [this](Channel &c, const GpuRequest &r,
+                                  Tick start, Tick end) {
+        const int task_id = c.context().taskId();
+        auto &pt = perTask[task_id];
+        const double us = toUsec(end - start);
+        pt.allServiceAccumUs.add(us);
+        if (r.awaited) {
+            pt.serviceUs.add(us);
+            pt.serviceAccumUs.add(us);
+        }
+    };
+}
+
+const RequestTrace::PerTask &
+RequestTrace::of(int task_id) const
+{
+    auto it = perTask.find(task_id);
+    if (it == perTask.end())
+        panic("no trace recorded for task ", task_id);
+    return it->second;
+}
+
+void
+RequestTrace::reset()
+{
+    perTask.clear();
+    lastSubmit.clear();
+}
+
+} // namespace neon

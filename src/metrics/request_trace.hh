@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ground-truth request tracing for Table 1 and Figure 2.
+ *
+ * Attaches to the device's trace hooks and records, per task, the
+ * inter-arrival times of submissions and the service times of awaited
+ * requests (trivial submissions are never checked for completion and
+ * are excluded from service statistics, as in the paper's measurement
+ * methodology).
+ */
+
+#ifndef NEON_METRICS_REQUEST_TRACE_HH
+#define NEON_METRICS_REQUEST_TRACE_HH
+
+#include <map>
+
+#include "gpu/device.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace neon
+{
+
+/** Per-task submission/service statistics collector. */
+class RequestTrace
+{
+  public:
+    /** Install the trace hooks on @p device. */
+    void attach(GpuDevice &device);
+
+    struct PerTask
+    {
+        Log2Histogram interArrivalUs{18};
+        Log2Histogram serviceUs{14};
+        Accum serviceAccumUs;     ///< awaited requests only
+        Accum allServiceAccumUs;  ///< including trivial
+        std::uint64_t submissions = 0;
+    };
+
+    const PerTask &of(int task_id) const;
+    bool has(int task_id) const { return perTask.count(task_id) > 0; }
+    void reset();
+
+  private:
+    std::map<int, PerTask> perTask;
+    std::map<int, Tick> lastSubmit; // by task id
+};
+
+} // namespace neon
+
+#endif // NEON_METRICS_REQUEST_TRACE_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The user-mapped channel ("doorbell") register.
+ *
+ * On real hardware this is a device register mapped into the
+ * application's address space; user libraries notify the GPU of new
+ * ring-buffer entries by storing to it. The kernel can intercept those
+ * stores by marking the containing page non-present and catching the
+ * fault. Here the register carries exactly that protection bit plus
+ * submission statistics; the fault/allow decision itself lives in the
+ * kernel model (neon::KernelModule).
+ */
+
+#ifndef NEON_MMIO_DOORBELL_HH
+#define NEON_MMIO_DOORBELL_HH
+
+#include <cstdint>
+
+namespace neon
+{
+
+/**
+ * Protection state and access counters for one channel register page.
+ */
+class DoorbellRegister
+{
+  public:
+    /** True if user-space stores reach the device without faulting. */
+    bool present() const { return _present; }
+
+    /** Map (unprotect) or unmap (protect) the register page. */
+    void
+    setPresent(bool p)
+    {
+        if (p != _present)
+            ++_toggles;
+        _present = p;
+    }
+
+    /** Record a direct (non-faulting) write. */
+    void noteDirectWrite() { ++_directWrites; }
+
+    /** Record an intercepted (faulting) write. */
+    void noteFault() { ++_faults; }
+
+    std::uint64_t directWrites() const { return _directWrites; }
+    std::uint64_t faults() const { return _faults; }
+    std::uint64_t toggles() const { return _toggles; }
+
+  private:
+    bool _present = false; // channels start protected until tracked
+    std::uint64_t _directWrites = 0;
+    std::uint64_t _faults = 0;
+    std::uint64_t _toggles = 0;
+};
+
+} // namespace neon
+
+#endif // NEON_MMIO_DOORBELL_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Umbrella header: the NEON-Sim public API.
+ *
+ * Typical use:
+ *
+ *   #include "neon/neon.hh"
+ *
+ *   neon::ExperimentConfig cfg;
+ *   cfg.sched = neon::SchedKind::DisengagedFq;
+ *   neon::ExperimentRunner runner(cfg);
+ *   auto result = runner.run({
+ *       neon::WorkloadSpec::app("DCT"),
+ *       neon::WorkloadSpec::throttle(neon::usec(1700)),
+ *   });
+ */
+
+#ifndef NEON_NEON_HH
+#define NEON_NEON_HH
+
+#include "gpu/device.hh"
+#include "gpu/usage_meter.hh"
+#include "harness/experiment.hh"
+#include "metrics/efficiency.hh"
+#include "metrics/reporter.hh"
+#include "metrics/request_trace.hh"
+#include "os/kernel.hh"
+#include "os/scheduler.hh"
+#include "os/task.hh"
+#include "sched/direct.hh"
+#include "sched/disengaged_fq.hh"
+#include "sched/disengaged_timeslice.hh"
+#include "sched/engaged_fq.hh"
+#include "sched/timeslice.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "workload/adversary.hh"
+#include "workload/app_profile.hh"
+#include "workload/synthetic_app.hh"
+#include "workload/throttle.hh"
+#include "workload/trace.hh"
+
+#endif // NEON_NEON_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * NEON's initialization-phase state machine (paper Section 4).
+ *
+ * For every channel the kernel must identify three virtual memory areas
+ * — command buffer, ring buffer, and channel register — before the
+ * channel is considered "active" (schedulable). The tracker consumes the
+ * mmap stream observed through the kernel hooks and reports activation.
+ */
+
+#ifndef NEON_OS_CHANNEL_TRACKER_HH
+#define NEON_OS_CHANNEL_TRACKER_HH
+
+#include <map>
+
+#include "mmio/address_space.hh"
+
+namespace neon
+{
+
+/** Tracks per-channel VMA discovery until channels become active. */
+class ChannelTracker
+{
+  public:
+    enum class ChannelState { Untracked, Partial, Active };
+
+    /**
+     * Observe one mmap. @return the channel's state afterwards; the
+     * caller reacts to the Partial->Active transition.
+     */
+    ChannelState
+    noteMmap(const Vma &vma)
+    {
+        auto &seen = channels[vma.channelId];
+        switch (vma.kind) {
+          case VmaKind::CommandBuffer:
+            seen.cmd = true;
+            break;
+          case VmaKind::RingBuffer:
+            seen.ring = true;
+            break;
+          case VmaKind::ChannelRegister:
+            seen.reg = true;
+            break;
+        }
+        return state(vma.channelId);
+    }
+
+    /** Current state of a channel id. */
+    ChannelState
+    state(int channel_id) const
+    {
+        auto it = channels.find(channel_id);
+        if (it == channels.end())
+            return ChannelState::Untracked;
+        const auto &s = it->second;
+        return (s.cmd && s.ring && s.reg) ? ChannelState::Active
+                                          : ChannelState::Partial;
+    }
+
+    bool
+    isActive(int channel_id) const
+    {
+        return state(channel_id) == ChannelState::Active;
+    }
+
+    /** Forget a channel (munmap/teardown/kill). */
+    void forget(int channel_id) { channels.erase(channel_id); }
+
+    std::size_t trackedCount() const { return channels.size(); }
+
+  private:
+    struct SeenVmas
+    {
+        bool cmd = false;
+        bool ring = false;
+        bool reg = false;
+    };
+
+    std::map<int, SeenVmas> channels;
+};
+
+} // namespace neon
+
+#endif // NEON_OS_CHANNEL_TRACKER_HH

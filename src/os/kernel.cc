@@ -1,0 +1,307 @@
+#include "os/kernel.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "gpu/context.hh"
+#include "sim/logging.hh"
+
+namespace neon
+{
+
+KernelModule::KernelModule(EventQueue &eq, GpuDevice &device,
+                           const CostModel &costs,
+                           const ChannelPolicy &policy)
+    : eq(eq), dev(device), cost(costs), policy(policy), poller(eq)
+{
+    poller.onPoll = [this](Tick now) {
+        if (sched)
+            sched->onPoll(now);
+    };
+}
+
+void
+KernelModule::setScheduler(Scheduler *s)
+{
+    sched = s;
+}
+
+void
+KernelModule::start()
+{
+    if (!sched)
+        fatal("KernelModule::start: no scheduler installed");
+    poller.start();
+    sched->onStart();
+}
+
+int
+KernelModule::registerTask(Task *t)
+{
+    taskList.push_back(t);
+    return nextPid++;
+}
+
+void
+KernelModule::unregisterTask(Task *t)
+{
+    std::erase(taskList, t);
+    parked.erase(t->pid());
+}
+
+void
+KernelModule::startTask(Task &t, Co body)
+{
+    t.start(std::move(body));
+    if (sched)
+        sched->onTaskStarted(t);
+}
+
+void
+KernelModule::killTask(Task &t, const std::string &reason)
+{
+    if (!t.alive())
+        return;
+
+    inform("killing task ", t.name(), " (pid ", t.pid(), "): ", reason);
+    ++kills;
+
+    parked.erase(t.pid());
+    t.kill();
+
+    // Abort and reclaim every channel the task owns; the device pays the
+    // abort cleanup cost, the CPU pays the kill path.
+    std::vector<Channel *> owned = t.channels();
+    for (Channel *c : owned) {
+        dev.abortChannel(*c);
+        chanTracker.forget(c->id());
+        channelRegistry.erase(c->id());
+        std::erase(activeList, c);
+        if (sched)
+            sched->onChannelClosed(*c);
+        t.noteChannelGone(c);
+        GpuContext &ctx = c->context();
+        dev.destroyChannel(c);
+        if (ctx.channels().empty())
+            dev.destroyContext(&ctx);
+    }
+    t.defaultContext = nullptr;
+
+    if (sched)
+        sched->onTaskExited(t);
+}
+
+Task *
+KernelModule::findTask(int pid) const
+{
+    for (Task *t : taskList) {
+        if (t->pid() == pid)
+            return t;
+    }
+    return nullptr;
+}
+
+std::vector<Task *>
+KernelModule::gpuTasks() const
+{
+    std::vector<Task *> out;
+    for (Task *t : taskList) {
+        if (t->alive() && !t->channels().empty())
+            out.push_back(t);
+    }
+    return out;
+}
+
+GpuContext *
+KernelModule::createContext(Task &t)
+{
+    return dev.createContext(t.pid());
+}
+
+void
+KernelModule::openChannel(Task &t, RequestClass cls, GpuContext *ctx)
+{
+    // Admission control per Section 6.3.
+    OpenResult result = OpenResult::Ok;
+    if (policy.protect) {
+        if (t.channels().size() >= policy.perTaskLimit) {
+            result = OpenResult::PerTaskLimit;
+        } else if (t.channels().empty()) {
+            const std::size_t users = gpuTasks().size();
+            const std::size_t max_users =
+                dev.config().maxChannels / policy.perTaskLimit;
+            if (users >= max_users)
+                result = OpenResult::TooManyUsers;
+        }
+    }
+
+    Channel *c = nullptr;
+    if (result == OpenResult::Ok) {
+        if (!ctx) {
+            if (!t.defaultContext)
+                t.defaultContext = dev.createContext(t.pid());
+            ctx = t.defaultContext;
+        }
+        c = dev.createChannel(*ctx, cls);
+        if (!c)
+            result = OpenResult::OutOfChannels;
+    }
+
+    if (c) {
+        channelRegistry[c->id()] = c;
+        t.noteChannelOwned(c);
+
+        // Simulate the driver establishing the three key VMAs; the
+        // kernel hooks observe each mmap and feed the tracker.
+        const std::uint64_t base = 0x7f0000000000ull +
+            static_cast<std::uint64_t>(c->id()) * 0x10000ull;
+        chanTracker.noteMmap({VmaKind::CommandBuffer, c->id(), base, 0x4000});
+        chanTracker.noteMmap({VmaKind::RingBuffer, c->id(), base + 0x4000,
+                              0x1000});
+        auto st = chanTracker.noteMmap(
+            {VmaKind::ChannelRegister, c->id(), base + 0x5000, 0x1000});
+
+        if (st == ChannelTracker::ChannelState::Active) {
+            activeList.push_back(c);
+            if (sched)
+                sched->onChannelActive(*c);
+        }
+    }
+
+    // Deliver the outcome after the syscall+mmap cost.
+    const Tick when = cost.syscallEntry + cost.channelOpen;
+    Task *tp = &t;
+    const int cid = c ? c->id() : -1;
+    eq.scheduleIn(when, [this, tp, cid, result] {
+        tp->openResultChannel = cid >= 0 ? findChannel(cid) : nullptr;
+        tp->openResult = result;
+        tp->resumeAt(0);
+    });
+}
+
+void
+KernelModule::closeChannel(Task &t, Channel *c)
+{
+    if (!c)
+        return;
+    if (c->busyOnDevice() || !c->ring().empty())
+        dev.abortChannel(*c);
+
+    chanTracker.forget(c->id());
+    channelRegistry.erase(c->id());
+    std::erase(activeList, c);
+    if (sched)
+        sched->onChannelClosed(*c);
+    t.noteChannelGone(c);
+
+    GpuContext &ctx = c->context();
+    dev.destroyChannel(c);
+    if (ctx.channels().empty()) {
+        if (t.defaultContext == &ctx)
+            t.defaultContext = nullptr;
+        dev.destroyContext(&ctx);
+    }
+}
+
+Channel *
+KernelModule::findChannel(int id) const
+{
+    auto it = channelRegistry.find(id);
+    return it == channelRegistry.end() ? nullptr : it->second;
+}
+
+void
+KernelModule::protectAll()
+{
+    for (Channel *c : activeList)
+        protectChannel(*c);
+}
+
+void
+KernelModule::submitDoorbell(Task &t, Channel &c, GpuRequest req)
+{
+    if (c.doorbell().present()) {
+        c.doorbell().noteDirectWrite();
+        const int cid = c.id();
+        Task *tp = &t;
+        eq.scheduleIn(cost.directDoorbellWrite, [this, tp, cid, req] {
+            finishDoorbell(*tp, cid, req);
+        });
+        return;
+    }
+
+    // Intercepted: the page is non-present, the store faults, and the
+    // handler (running in process context) consults the policy.
+    c.doorbell().noteFault();
+    if (!sched)
+        panic("doorbell fault with no scheduler installed");
+
+    const FaultDecision d = sched->onSubmitFault(t, c, req);
+    if (d == FaultDecision::Allow) {
+        const Tick cost_now = cost.faultPath(c.ring().size());
+        const int cid = c.id();
+        Task *tp = &t;
+        eq.scheduleIn(cost_now, [this, tp, cid, req] {
+            finishDoorbell(*tp, cid, req);
+        });
+    } else {
+        parked[t.pid()] = {c.id(), req};
+    }
+}
+
+bool
+KernelModule::hasParked(const Task &t) const
+{
+    return parked.count(t.pid()) > 0;
+}
+
+void
+KernelModule::releaseParked(Task &t)
+{
+    auto it = parked.find(t.pid());
+    if (it == parked.end())
+        return;
+
+    const ParkedSubmission ps = it->second;
+    parked.erase(it);
+
+    Channel *c = findChannel(ps.channelId);
+    if (!c)
+        return;
+
+    const Tick when = cost.faultPath(c->ring().size()) + cost.parkedRelease;
+    Task *tp = &t;
+    eq.scheduleIn(when, [this, tp, cid = ps.channelId, req = ps.req] {
+        finishDoorbell(*tp, cid, req);
+    });
+}
+
+std::vector<int>
+KernelModule::parkedPids() const
+{
+    std::vector<int> out;
+    out.reserve(parked.size());
+    for (const auto &kv : parked)
+        out.push_back(kv.first);
+    return out;
+}
+
+Task *
+KernelModule::currentlyRunningTask() const
+{
+    Channel *c = dev.engineCurrent(EngineKind::Execute);
+    return c ? findTask(c->context().taskId()) : nullptr;
+}
+
+void
+KernelModule::finishDoorbell(Task &t, int channel_id, GpuRequest req)
+{
+    Channel *c = findChannel(channel_id);
+    if (!c || !t.alive())
+        return; // torn down (e.g., task killed) while in flight
+
+    dev.submit(*c, req);
+    t.resumeAt(0);
+}
+
+} // namespace neon

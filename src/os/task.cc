@@ -1,0 +1,42 @@
+#include "os/task.hh"
+
+#include <algorithm>
+
+#include "os/kernel.hh"
+
+namespace neon
+{
+
+Task::Task(KernelModule &kernel, std::string name)
+    : Process(kernel.eventQueue(), std::move(name)), kern(kernel),
+      taskPid(kernel.registerTask(this))
+{
+}
+
+Task::~Task()
+{
+    kern.unregisterTask(this);
+}
+
+void
+Task::noteChannelGone(Channel *c)
+{
+    std::erase(chans, c);
+}
+
+void
+Task::OpenChannelAwaitable::await_suspend(std::coroutine_handle<> h)
+{
+    t.suspended(h);
+    t.kernelRef().openChannel(t, cls, ctx);
+}
+
+void
+Task::SubmitAwaitable::await_suspend(std::coroutine_handle<> h)
+{
+    t.suspended(h);
+    req.ref = c.allocRef();
+    t.kernelRef().submitDoorbell(t, c, req);
+}
+
+} // namespace neon

@@ -1,0 +1,4 @@
+#include "sched/direct.hh"
+
+// DirectScheduler is header-only; this translation unit anchors the
+// library target.

@@ -1,0 +1,4 @@
+#include "sched/disengaged_timeslice.hh"
+
+// DisengagedTimeslice is header-only; this translation unit anchors the
+// library target.

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Minimal C++20 coroutine task type for simulated processes.
+ *
+ * A Co is the body of one simulated process. It starts suspended; the
+ * owning Process resumes it from event-queue callbacks. The coroutine
+ * frame is destroyed either when the body finishes or when the owning
+ * Process is destroyed/killed, so RAII cleanup inside bodies is reliable.
+ */
+
+#ifndef NEON_SIM_COROUTINE_HH
+#define NEON_SIM_COROUTINE_HH
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace neon
+{
+
+/**
+ * Fire-and-forget coroutine handle with lazy start.
+ *
+ * Ownership of the frame is movable and unique; destruction of a live Co
+ * destroys the frame (running any pending RAII cleanup in the body).
+ */
+class Co
+{
+  public:
+    struct promise_type
+    {
+        Co
+        get_return_object()
+        {
+            return Co(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() noexcept {}
+
+        void
+        unhandled_exception()
+        {
+            // Simulated process bodies must not leak exceptions; doing so
+            // is an internal error.
+            std::terminate();
+        }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Co() = default;
+    explicit Co(Handle h) : handle(h) {}
+
+    Co(Co &&o) noexcept : handle(std::exchange(o.handle, nullptr)) {}
+
+    Co &
+    operator=(Co &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle = std::exchange(o.handle, nullptr);
+        }
+        return *this;
+    }
+
+    Co(const Co &) = delete;
+    Co &operator=(const Co &) = delete;
+
+    ~Co() { destroy(); }
+
+    /** True if this Co owns a live frame. */
+    bool valid() const { return static_cast<bool>(handle); }
+
+    /** True if the body has run to completion (frame still owned). */
+    bool done() const { return handle && handle.done(); }
+
+    /** Resume the body until its next suspension point. */
+    void
+    resume()
+    {
+        if (handle && !handle.done())
+            handle.resume();
+    }
+
+    /** Destroy the frame, running RAII cleanup in the body. */
+    void
+    destroy()
+    {
+        if (handle) {
+            handle.destroy();
+            handle = nullptr;
+        }
+    }
+
+  private:
+    Handle handle;
+};
+
+} // namespace neon
+
+#endif // NEON_SIM_COROUTINE_HH

@@ -1,0 +1,83 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace neon
+{
+
+EventId
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    if (when < curTick)
+        panic("event scheduled in the past: ", when, " < ", curTick);
+    if (!fn)
+        panic("null event callback");
+
+    EventId id = nextId++;
+    heap.push({when, id});
+    callbacks.emplace(id, std::move(fn));
+    return id;
+}
+
+EventId
+EventQueue::scheduleIn(Tick delay, std::function<void()> fn)
+{
+    if (delay < 0)
+        panic("negative event delay: ", delay);
+    return schedule(curTick + delay, std::move(fn));
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    callbacks.erase(id);
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap.empty()) {
+        Entry e = heap.top();
+        heap.pop();
+
+        auto it = callbacks.find(e.id);
+        if (it == callbacks.end())
+            continue; // lazily deleted (cancelled)
+
+        // Move the callback out so the event may reschedule itself.
+        std::function<void()> fn = std::move(it->second);
+        callbacks.erase(it);
+
+        if (e.when < curTick)
+            panic("event time ran backwards");
+        curTick = e.when;
+        ++nExecuted;
+        fn();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::runUntil(Tick t)
+{
+    while (!heap.empty() && heap.top().when <= t) {
+        if (!step())
+            break;
+    }
+    if (t > curTick)
+        curTick = t;
+}
+
+std::uint64_t
+EventQueue::drain(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && step())
+        ++n;
+    return n;
+}
+
+} // namespace neon

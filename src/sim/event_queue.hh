@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The discrete-event engine at the heart of the simulator.
+ *
+ * Events are closures ordered by (tick, insertion sequence); ties on the
+ * tick execute in insertion order, which makes whole simulations
+ * deterministic. Cancellation is supported through lazy deletion.
+ */
+
+#ifndef NEON_SIM_EVENT_QUEUE_HH
+#define NEON_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace neon
+{
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Invalid event handle. */
+constexpr EventId invalidEventId = 0;
+
+/**
+ * A deterministic discrete-event queue with a monotone simulated clock.
+ *
+ * Callbacks run strictly in (when, id) order. Scheduling an event in the
+ * past is an internal error (panic); scheduling at the current tick runs
+ * the event after the currently executing one.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick; }
+
+    /** Schedule @p fn to run at absolute time @p when. */
+    EventId schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    EventId scheduleIn(Tick delay, std::function<void()> fn);
+
+    /** Cancel a previously scheduled event; ignores stale ids. */
+    void cancel(EventId id);
+
+    /** True if no live events remain. */
+    bool empty() const { return callbacks.empty(); }
+
+    /** Number of live (non-cancelled) events. */
+    std::size_t pending() const { return callbacks.size(); }
+
+    /**
+     * Execute the next event, if any.
+     * @return true if an event ran, false if the queue was empty.
+     */
+    bool step();
+
+    /** Run all events with when <= t; afterwards now() == t. */
+    void runUntil(Tick t);
+
+    /** Run for a duration relative to now(). */
+    void runFor(Tick d) { runUntil(curTick + d); }
+
+    /** Run until the queue is exhausted (or @p max_events executed). */
+    std::uint64_t drain(std::uint64_t max_events = ~std::uint64_t(0));
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return nExecuted; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : id > o.id;
+        }
+    };
+
+    Tick curTick = 0;
+    EventId nextId = 1;
+    std::uint64_t nExecuted = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+    std::unordered_map<EventId, std::function<void()>> callbacks;
+};
+
+} // namespace neon
+
+#endif // NEON_SIM_EVENT_QUEUE_HH

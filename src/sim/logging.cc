@@ -1,0 +1,39 @@
+#include "sim/logging.hh"
+
+namespace neon
+{
+
+namespace logging_detail
+{
+
+bool verbose = false;
+
+void
+emit(const std::string &tag, const std::string &msg)
+{
+    std::cerr << tag << ": " << msg << std::endl;
+}
+
+void
+abortWith(const std::string &tag, const std::string &msg)
+{
+    emit(tag, msg);
+    std::abort();
+}
+
+void
+exitWith(const std::string &tag, const std::string &msg)
+{
+    emit(tag, msg);
+    std::exit(1);
+}
+
+} // namespace logging_detail
+
+void
+setVerbose(bool on)
+{
+    logging_detail::verbose = on;
+}
+
+} // namespace neon

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  - internal invariant violated; a bug in the simulator itself.
+ * fatal()  - the simulation cannot continue due to a user/configuration
+ *            error; normal exit with an error code.
+ * warn()   - something works but possibly not the way the user expects.
+ * inform() - plain status output.
+ */
+
+#ifndef NEON_SIM_LOGGING_HH
+#define NEON_SIM_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace neon
+{
+
+namespace logging_detail
+{
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void abortWith(const std::string &tag, const std::string &msg);
+[[noreturn]] void exitWith(const std::string &tag, const std::string &msg);
+void emit(const std::string &tag, const std::string &msg);
+
+/** Verbosity gate for inform(); warnings always print. */
+extern bool verbose;
+
+} // namespace logging_detail
+
+/** Report an internal simulator bug and abort (may dump core). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    logging_detail::abortWith(
+        "panic", logging_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    logging_detail::exitWith(
+        "fatal", logging_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    logging_detail::emit(
+        "warn", logging_detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status (suppressed unless verbose). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logging_detail::verbose) {
+        logging_detail::emit(
+            "info", logging_detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+/** Enable/disable inform() output (tests and benches keep it off). */
+void setVerbose(bool on);
+
+} // namespace neon
+
+#endif // NEON_SIM_LOGGING_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * We implement xoshiro256** seeded via splitmix64 and our own
+ * distribution transforms, so that simulations are bit-reproducible
+ * across standard libraries and platforms.
+ */
+
+#ifndef NEON_SIM_RANDOM_HH
+#define NEON_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace neon
+{
+
+/** xoshiro256** PRNG with explicit, portable distribution transforms. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Exponential with the given mean. */
+    double exponential(double mean);
+
+    /** Standard normal via Box-Muller (deterministic, stateless pairs). */
+    double normal();
+
+    /** Normal with mean/stddev. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Lognormal parameterized by its (arithmetic) mean and coefficient
+     * of variation, which is the natural way to describe request-size
+     * jitter around a profiled average.
+     */
+    double lognormal(double mean, double cv);
+
+    /** Bernoulli trial. */
+    bool chance(double p);
+
+    /** Fork a child RNG with an independent stream. */
+    Rng fork();
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace neon
+
+#endif // NEON_SIM_RANDOM_HH

@@ -1,0 +1,104 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace neon
+{
+
+void
+Accum::add(double v)
+{
+    ++n;
+    sum += v;
+    sumSq += v * v;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+}
+
+void
+Accum::merge(const Accum &o)
+{
+    n += o.n;
+    sum += o.sum;
+    sumSq += o.sumSq;
+    lo = std::min(lo, o.lo);
+    hi = std::max(hi, o.hi);
+}
+
+void
+Accum::reset()
+{
+    *this = Accum();
+}
+
+double
+Accum::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    const double m = mean();
+    const double v =
+        (sumSq - static_cast<double>(n) * m * m) / static_cast<double>(n - 1);
+    return v > 0.0 ? v : 0.0;
+}
+
+double
+Accum::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Log2Histogram::Log2Histogram(unsigned max_bin) : bins(max_bin + 1, 0)
+{
+}
+
+void
+Log2Histogram::add(double value_us)
+{
+    unsigned b = 0;
+    if (value_us >= 1.0)
+        b = static_cast<unsigned>(std::floor(std::log2(value_us)));
+    b = std::min<unsigned>(b, maxBin());
+    ++bins[b];
+    ++n;
+}
+
+void
+Log2Histogram::reset()
+{
+    std::fill(bins.begin(), bins.end(), 0);
+    n = 0;
+}
+
+std::uint64_t
+Log2Histogram::binCount(unsigned b) const
+{
+    return b < bins.size() ? bins[b] : 0;
+}
+
+double
+Log2Histogram::cdfPercent(unsigned b) const
+{
+    if (n == 0)
+        return 0.0;
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i <= b && i < bins.size(); ++i)
+        acc += bins[i];
+    return 100.0 * static_cast<double>(acc) / static_cast<double>(n);
+}
+
+std::string
+Log2Histogram::format() const
+{
+    std::ostringstream os;
+    for (unsigned b = 0; b <= maxBin(); ++b) {
+        os << b << " " << cdfPercent(b) << "\n";
+        if (cdfPercent(b) >= 100.0)
+            break;
+    }
+    return os.str();
+}
+
+} // namespace neon

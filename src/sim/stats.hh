@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Statistics primitives: running accumulators and log2-binned
+ * histograms matching the paper's Figure 2 presentation.
+ */
+
+#ifndef NEON_SIM_STATS_HH
+#define NEON_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace neon
+{
+
+/** Running mean/min/max/stddev accumulator. */
+class Accum
+{
+  public:
+    void add(double v);
+    void merge(const Accum &o);
+    void reset();
+
+    std::uint64_t count() const { return n; }
+    double total() const { return sum; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    double minimum() const { return n ? lo : 0.0; }
+    double maximum() const { return n ? hi : 0.0; }
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Histogram over floor(log2(value)) bins, as used for the paper's
+ * request inter-arrival and service-time CDFs (Figure 2). Values are
+ * supplied in microseconds; values below 1 land in bin 0.
+ */
+class Log2Histogram
+{
+  public:
+    explicit Log2Histogram(unsigned max_bin = 20);
+
+    void add(double value_us);
+    void reset();
+
+    unsigned maxBin() const { return unsigned(bins.size()) - 1; }
+    std::uint64_t binCount(unsigned b) const;
+    std::uint64_t total() const { return n; }
+
+    /** Fraction of samples in bins [0, b], in percent. */
+    double cdfPercent(unsigned b) const;
+
+    /** Render "bin cdf%" rows, one per line. */
+    std::string format() const;
+
+  private:
+    std::vector<std::uint64_t> bins;
+    std::uint64_t n = 0;
+};
+
+/** Simple named-series container used by benches to print tables. */
+struct Series
+{
+    std::string name;
+    std::vector<double> values;
+};
+
+} // namespace neon
+
+#endif // NEON_SIM_STATS_HH

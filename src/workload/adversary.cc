@@ -1,0 +1,94 @@
+#include "workload/adversary.hh"
+
+#include "gpu/context.hh"
+#include "os/kernel.hh"
+
+namespace neon
+{
+
+Co
+infiniteKernelBody(Task &t, int normal_rounds, Tick normal_size)
+{
+    Channel *chan = co_await t.openChannel(RequestClass::Compute);
+    if (!chan)
+        co_return;
+
+    for (int i = 0; i < normal_rounds; ++i) {
+        t.beginRound();
+        const std::uint64_t ref =
+            co_await t.submit(*chan, RequestClass::Compute, normal_size);
+        co_await t.waitRef(*chan, ref);
+        t.endRound();
+    }
+
+    // The kernel that never returns.
+    const std::uint64_t ref =
+        co_await t.submit(*chan, RequestClass::Compute, maxTick);
+    co_await t.waitRef(*chan, ref); // never satisfied; killed instead
+}
+
+Co
+batchingHogBody(Task &t, Tick batched_size)
+{
+    Channel *chan = co_await t.openChannel(RequestClass::Compute);
+    if (!chan)
+        co_return;
+
+    for (;;) {
+        t.beginRound();
+        const std::uint64_t ref =
+            co_await t.submit(*chan, RequestClass::Compute, batched_size);
+        co_await t.waitRef(*chan, ref);
+        t.endRound();
+    }
+}
+
+Co
+channelDosBody(Task &t, DosOutcome *outcome)
+{
+    for (;;) {
+        GpuContext *ctx = t.kernelRef().createContext(t);
+
+        Channel *comp =
+            co_await t.openChannel(RequestClass::Compute, ctx);
+        if (!comp) {
+            outcome->firstFailure = t.openResult;
+            co_return;
+        }
+        ++outcome->channelsCreated;
+
+        Channel *dma = co_await t.openChannel(RequestClass::Dma, ctx);
+        if (!dma) {
+            outcome->firstFailure = t.openResult;
+            co_return;
+        }
+        ++outcome->channelsCreated;
+
+        ++outcome->contextsCreated;
+    }
+}
+
+Co
+dosVictimBody(Task &t, DosOutcome *outcome, Tick request_size,
+              Tick start_delay)
+{
+    if (start_delay > 0)
+        co_await t.sleepFor(start_delay);
+
+    Channel *chan = co_await t.openChannel(RequestClass::Compute);
+    if (!chan) {
+        outcome->firstFailure = t.openResult;
+        co_return;
+    }
+    ++outcome->channelsCreated;
+
+    for (;;) {
+        t.beginRound();
+        const std::uint64_t ref =
+            co_await t.submit(*chan, RequestClass::Compute, request_size);
+        co_await t.waitRef(*chan, ref);
+        t.endRound();
+    }
+}
+
+} // namespace neon

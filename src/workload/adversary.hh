@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Adversarial and misbehaving workloads used to exercise protection.
+ */
+
+#ifndef NEON_WORKLOAD_ADVERSARY_HH
+#define NEON_WORKLOAD_ADVERSARY_HH
+
+#include <cstdint>
+
+#include "os/task.hh"
+#include "sim/coroutine.hh"
+#include "sim/types.hh"
+
+namespace neon
+{
+
+/**
+ * Behaves like a normal small-request app for @p normal_rounds rounds,
+ * then submits a request that never completes (an infinite loop in a
+ * compute kernel). Protection should kill the task.
+ */
+Co infiniteKernelBody(Task &t, int normal_rounds, Tick normal_size);
+
+/**
+ * A greedy application that "batches" its work into huge requests to
+ * hog a work-conserving device (the paper's Section 1 motivation).
+ * Submits back-to-back blocking requests of @p batched_size.
+ */
+Co batchingHogBody(Task &t, Tick batched_size);
+
+/** Result record for the channel-exhaustion attack. */
+struct DosOutcome
+{
+    int contextsCreated = 0;
+    int channelsCreated = 0;
+    OpenResult firstFailure = OpenResult::Ok;
+};
+
+/**
+ * Denial-of-service attacker: creates context after context, each with
+ * one compute and one DMA channel, until allocation fails (paper
+ * Section 6.3). Writes what happened into @p outcome.
+ */
+Co channelDosBody(Task &t, DosOutcome *outcome);
+
+/**
+ * A victim that simply tries to open one compute channel and run small
+ * requests; records whether it ever got access. An optional start
+ * delay lets the attacker strike first.
+ */
+Co dosVictimBody(Task &t, DosOutcome *outcome, Tick request_size,
+                 Tick start_delay = 0);
+
+} // namespace neon
+
+#endif // NEON_WORKLOAD_ADVERSARY_HH

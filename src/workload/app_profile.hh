@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Application profiles calibrated against the paper's Table 1.
+ *
+ * Each profile describes the request stream one benchmark presents to
+ * the device: how many awaited compute/graphics/DMA requests per
+ * "round" (one iteration of the main loop, or one frame), the request
+ * size distributions, how many trivial (state-change) submissions ride
+ * along, and how much CPU-side think time separates rounds. Awaited
+ * OpenCL requests are serialized (the SDK samples synchronize per
+ * step); graphics requests pipeline within a frame and synchronize at
+ * frame boundaries.
+ */
+
+#ifndef NEON_WORKLOAD_APP_PROFILE_HH
+#define NEON_WORKLOAD_APP_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace neon
+{
+
+/** A mixture distribution for request service times. */
+struct RequestMix
+{
+    struct Component
+    {
+        double weight;  ///< relative weight
+        double meanUs;  ///< arithmetic mean, microseconds
+        double cv;      ///< coefficient of variation (lognormal)
+    };
+
+    std::vector<Component> components;
+
+    /** Single-component convenience constructor. */
+    static RequestMix
+    fixed(double mean_us, double cv = 0.08)
+    {
+        return {{{1.0, mean_us, cv}}};
+    }
+
+    /** Draw one service time. */
+    Tick sample(Rng &rng) const;
+
+    /** Arithmetic mean of the mixture in microseconds. */
+    double meanUs() const;
+};
+
+/** One benchmark's behavioural description. */
+struct AppProfile
+{
+    std::string name;
+    std::string area;
+
+    // Awaited compute requests per round (serialized).
+    int computeReqs = 0;
+    RequestMix computeMix;
+
+    // Awaited graphics requests per round (pipelined, frame sync).
+    int graphicsReqs = 0;
+    RequestMix graphicsMix;
+
+    // DMA requests per round (pipelined on the copy engine).
+    int dmaReqs = 0;
+    double dmaMeanUs = 0.0;
+
+    // Trivial (state-change) submissions per round: tiny, not awaited.
+    int trivialReqs = 0;
+
+    /**
+     * True for apps whose kernels form dependent stages (sorting
+     * networks, transforms, graph relaxation): each awaited compute
+     * request is synchronized before the next is built. False for apps
+     * with independent kernels, which pipeline the round's requests and
+     * synchronize once at the end.
+     */
+    bool serialized = false;
+
+    // CPU-only time per round, microseconds (spread around the work).
+    double thinkUs = 0.0;
+
+    // Paper's Table 1 reference values for reporting.
+    double paperRoundUs = 0.0;
+    double paperReqUs = 0.0;
+    double paperReqUs2 = 0.0; ///< second value for combined apps
+
+    bool usesGraphics() const { return graphicsReqs > 0; }
+    bool usesCompute() const { return computeReqs > 0; }
+    bool usesDma() const { return dmaReqs > 0; }
+
+    /** Number of channels the app opens. */
+    int
+    channelCount() const
+    {
+        return (usesCompute() ? 1 : 0) + (usesGraphics() ? 1 : 0) +
+            (usesDma() ? 1 : 0);
+    }
+};
+
+/** The Table 1 registry. */
+class AppRegistry
+{
+  public:
+    /** All 18 benchmark profiles, in Table 1 order. */
+    static const std::vector<AppProfile> &all();
+
+    /** Look up a profile by name; fatal() if unknown. */
+    static const AppProfile &byName(const std::string &name);
+};
+
+} // namespace neon
+
+#endif // NEON_WORKLOAD_APP_PROFILE_HH

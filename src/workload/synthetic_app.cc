@@ -1,0 +1,125 @@
+#include "workload/synthetic_app.hh"
+
+#include "sim/logging.hh"
+
+namespace neon
+{
+
+namespace
+{
+
+/** Spread trivial submissions across the awaited requests of a round. */
+int
+triviaBefore(int slot, int awaited, int total_trivia)
+{
+    if (awaited <= 0)
+        return slot == 0 ? total_trivia : 0;
+    const int base = total_trivia / awaited;
+    const int extra = slot < (total_trivia % awaited) ? 1 : 0;
+    return base + extra;
+}
+
+} // namespace
+
+Co
+syntheticAppBody(Task &t, AppProfile profile, std::uint64_t seed)
+{
+    Rng rng(seed);
+
+    Channel *comp = nullptr;
+    Channel *gfx = nullptr;
+    Channel *dma = nullptr;
+
+    if (profile.usesCompute()) {
+        comp = co_await t.openChannel(RequestClass::Compute);
+        if (!comp)
+            co_return;
+    }
+    if (profile.usesGraphics()) {
+        gfx = co_await t.openChannel(RequestClass::Graphics);
+        if (!gfx)
+            co_return;
+    }
+    if (profile.usesDma()) {
+        dma = co_await t.openChannel(RequestClass::Dma);
+        if (!dma)
+            co_return;
+    }
+
+    Channel *trivia_chan = comp ? comp : gfx;
+    const int awaited = profile.computeReqs + profile.graphicsReqs;
+
+    for (;;) {
+        t.beginRound();
+
+        // CPU-side work per round, jittered. Stage-dependent apps
+        // interleave it between their synchronized steps; pipelined
+        // apps do it after the round's sync (post-processing), so it
+        // does not hide under the device time.
+        const Tick think = usec(rng.lognormal(profile.thinkUs, 0.10));
+        const Tick think_slice = profile.serialized
+            ? think / static_cast<Tick>(awaited + 1) : 0;
+
+        if (profile.serialized)
+            co_await t.sleepFor(think_slice);
+
+        // Input DMA, overlapped on the copy engine.
+        std::uint64_t dma_ref = 0;
+        for (int i = 0; i < profile.dmaReqs; ++i) {
+            dma_ref = co_await t.submit(
+                *dma, RequestClass::Dma,
+                usec(rng.lognormal(profile.dmaMeanUs, 0.2)));
+        }
+
+        int slot = 0;
+
+        // Compute steps: serialized apps synchronize per request,
+        // pipelined apps queue the whole round and synchronize once.
+        std::uint64_t comp_ref = 0;
+        for (int i = 0; i < profile.computeReqs; ++i, ++slot) {
+            const int trivia =
+                triviaBefore(slot, awaited, profile.trivialReqs);
+            for (int k = 0; k < trivia; ++k) {
+                co_await t.submit(*trivia_chan, RequestClass::Trivial,
+                                  trivialServiceTime, false);
+            }
+            comp_ref = co_await t.submit(
+                *comp, RequestClass::Compute,
+                profile.computeMix.sample(rng));
+            if (profile.serialized) {
+                co_await t.waitRef(*comp, comp_ref);
+                comp_ref = 0;
+                co_await t.sleepFor(think_slice);
+            }
+        }
+        if (comp && comp_ref)
+            co_await t.waitRef(*comp, comp_ref);
+
+        // Pipelined rendering, synchronized at the frame boundary.
+        std::uint64_t gfx_ref = 0;
+        for (int i = 0; i < profile.graphicsReqs; ++i, ++slot) {
+            const int trivia =
+                triviaBefore(slot, awaited, profile.trivialReqs);
+            for (int k = 0; k < trivia; ++k) {
+                co_await t.submit(*trivia_chan, RequestClass::Trivial,
+                                  trivialServiceTime, false);
+            }
+            gfx_ref = co_await t.submit(
+                *gfx, RequestClass::Graphics,
+                profile.graphicsMix.sample(rng));
+        }
+
+        if (gfx && gfx_ref)
+            co_await t.waitRef(*gfx, gfx_ref);
+        if (dma && dma_ref)
+            co_await t.waitRef(*dma, dma_ref);
+
+        // Post-sync CPU work for pipelined apps.
+        if (!profile.serialized && think > 0)
+            co_await t.sleepFor(think);
+
+        t.endRound();
+    }
+}
+
+} // namespace neon

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Round-structured synthetic application driven by an AppProfile.
+ */
+
+#ifndef NEON_WORKLOAD_SYNTHETIC_APP_HH
+#define NEON_WORKLOAD_SYNTHETIC_APP_HH
+
+#include <cstdint>
+
+#include "os/task.hh"
+#include "sim/coroutine.hh"
+#include "workload/app_profile.hh"
+
+namespace neon
+{
+
+/** Device time taken by a trivial (state-change) submission. */
+constexpr Tick trivialServiceTime = nsec(500);
+
+/**
+ * The application body: open the profile's channels, then loop rounds
+ * forever (the harness bounds the run by simulated time).
+ *
+ * Awaited compute requests are serialized (submit, spin, repeat), as
+ * the SDK samples do; graphics requests pipeline within the round and
+ * synchronize at the frame boundary; DMA overlaps on the copy engine.
+ * Trivial submissions are sprinkled in front of awaited work.
+ */
+Co syntheticAppBody(Task &t, AppProfile profile, std::uint64_t seed);
+
+} // namespace neon
+
+#endif // NEON_WORKLOAD_SYNTHETIC_APP_HH

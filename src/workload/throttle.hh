@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The paper's "Throttle" microbenchmark (Section 5.1).
+ *
+ * Repetitive blocking compute requests of a user-specified size, with
+ * optional idle (sleep/think) time between requests to simulate
+ * nonsaturating workloads. No data transfers; only a small amount of
+ * initial setup.
+ */
+
+#ifndef NEON_WORKLOAD_THROTTLE_HH
+#define NEON_WORKLOAD_THROTTLE_HH
+
+#include <cstdint>
+
+#include "os/task.hh"
+#include "sim/coroutine.hh"
+#include "sim/types.hh"
+
+namespace neon
+{
+
+/** Knobs for the Throttle microbenchmark. */
+struct ThrottleParams
+{
+    /** Device occupancy of each request. */
+    Tick requestSize = usec(100);
+
+    /**
+     * Fraction of the steady-state cycle spent sleeping ("off" time
+     * under standalone execution); 0 = fully saturating.
+     */
+    double sleepRatio = 0.0;
+
+    /** Relative jitter of request sizes. */
+    double jitterCv = 0.02;
+};
+
+/** One blocking request per round, plus the configured idle time. */
+Co throttleBody(Task &t, ThrottleParams params, std::uint64_t seed);
+
+} // namespace neon
+
+#endif // NEON_WORKLOAD_THROTTLE_HH

@@ -1,0 +1,161 @@
+#include "workload/trace.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace neon
+{
+
+Tick
+RequestTraceLog::span() const
+{
+    return events.empty() ? 0 : events.back().offset;
+}
+
+Tick
+RequestTraceLog::totalService() const
+{
+    Tick sum = 0;
+    for (const auto &e : events)
+        sum += e.service;
+    return sum;
+}
+
+namespace
+{
+
+const char *
+className(RequestClass c)
+{
+    switch (c) {
+      case RequestClass::Compute:
+        return "compute";
+      case RequestClass::Graphics:
+        return "graphics";
+      case RequestClass::Dma:
+        return "dma";
+      case RequestClass::Trivial:
+        return "trivial";
+    }
+    return "?";
+}
+
+RequestClass
+classFromName(const std::string &s)
+{
+    if (s == "compute")
+        return RequestClass::Compute;
+    if (s == "graphics")
+        return RequestClass::Graphics;
+    if (s == "dma")
+        return RequestClass::Dma;
+    if (s == "trivial")
+        return RequestClass::Trivial;
+    fatal("trace: unknown request class '", s, "'");
+}
+
+} // namespace
+
+void
+RequestTraceLog::save(std::ostream &os) const
+{
+    for (const auto &e : events) {
+        os << e.offset << " " << className(e.cls) << " " << e.service
+           << " " << (e.awaited ? 1 : 0) << "\n";
+    }
+}
+
+RequestTraceLog
+RequestTraceLog::load(std::istream &is)
+{
+    RequestTraceLog log;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        TraceRecord r;
+        std::string cls;
+        int awaited = 1;
+        if (!(ls >> r.offset >> cls >> r.service >> awaited))
+            fatal("trace: malformed line '", line, "'");
+        r.cls = classFromName(cls);
+        r.awaited = awaited != 0;
+        log.events.push_back(r);
+    }
+    return log;
+}
+
+void
+TraceRecorder::attach(GpuDevice &device)
+{
+    device.traceSubmit = [this](Channel &c, const GpuRequest &r,
+                                Tick when) {
+        auto &raw = logs[c.context().taskId()];
+        if (raw.events.empty())
+            raw.firstAt = when;
+        raw.events.push_back(
+            {when - raw.firstAt, r.cls, r.serviceTime, r.awaited});
+    };
+}
+
+RequestTraceLog
+TraceRecorder::traceOf(int task_id) const
+{
+    auto it = logs.find(task_id);
+    if (it == logs.end())
+        panic("no trace recorded for task ", task_id);
+    RequestTraceLog log;
+    log.events = it->second.events;
+    return log;
+}
+
+Co
+traceReplayBody(Task &t, RequestTraceLog log)
+{
+    if (log.empty())
+        co_return;
+
+    // One channel per request class actually present in the trace.
+    std::map<RequestClass, Channel *> chans;
+    for (const auto &e : log.events) {
+        const RequestClass key = e.cls == RequestClass::Trivial
+            ? RequestClass::Compute : e.cls;
+        if (!chans.count(key)) {
+            Channel *c = co_await t.openChannel(key);
+            if (!c)
+                co_return;
+            chans[key] = c;
+        }
+    }
+
+    for (;;) {
+        t.beginRound();
+        const Tick pass_start = t.now();
+
+        std::map<RequestClass, std::uint64_t> last_refs;
+        for (const auto &e : log.events) {
+            const Tick due = pass_start + e.offset;
+            if (due > t.now())
+                co_await t.sleepFor(due - t.now());
+
+            const RequestClass key = e.cls == RequestClass::Trivial
+                ? RequestClass::Compute : e.cls;
+            const std::uint64_t ref = co_await t.submit(
+                *chans[key], e.cls, e.service, e.awaited);
+            if (e.awaited)
+                last_refs[key] = ref;
+        }
+
+        // Synchronize each channel at the end of the pass.
+        for (const auto &kv : last_refs)
+            co_await t.waitRef(*chans.at(kv.first), kv.second);
+
+        t.endRound();
+    }
+}
+
+} // namespace neon

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Request-trace record and replay.
+ *
+ * A recorded trace captures the request stream one task presented to
+ * the device — submission offsets, request classes, service times —
+ * so experiments can be re-run against the exact same workload (e.g.
+ * validating a scheduler change, or standing in for the production
+ * traces a real deployment would capture). Traces serialize to a
+ * simple line format and replay as ordinary task bodies.
+ */
+
+#ifndef NEON_WORKLOAD_TRACE_HH
+#define NEON_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpu/device.hh"
+#include "os/task.hh"
+#include "sim/coroutine.hh"
+#include "sim/types.hh"
+
+namespace neon
+{
+
+/** One recorded submission. */
+struct TraceRecord
+{
+    Tick offset = 0; ///< submission time relative to the trace start
+    RequestClass cls = RequestClass::Compute;
+    Tick service = 0;
+    bool awaited = true;
+};
+
+/** A replayable request stream. */
+struct RequestTraceLog
+{
+    std::vector<TraceRecord> events;
+
+    bool empty() const { return events.empty(); }
+    std::size_t size() const { return events.size(); }
+
+    /** Total duration from first submission to last. */
+    Tick span() const;
+
+    /** Device time demanded by the trace. */
+    Tick totalService() const;
+
+    /** Serialize as "offset_ns class service_ns awaited" lines. */
+    void save(std::ostream &os) const;
+
+    /** Parse the save() format; fatal() on malformed input. */
+    static RequestTraceLog load(std::istream &is);
+};
+
+/**
+ * Records per-task request streams from a live device.
+ */
+class TraceRecorder
+{
+  public:
+    /** Install on the device's submit hook (exclusive with other users). */
+    void attach(GpuDevice &device);
+
+    bool has(int task_id) const { return logs.count(task_id) > 0; }
+
+    /** The recorded stream of a task, offsets rebased to its start. */
+    RequestTraceLog traceOf(int task_id) const;
+
+    void reset() { logs.clear(); }
+
+  private:
+    struct Raw
+    {
+        Tick firstAt = 0;
+        std::vector<TraceRecord> events;
+    };
+
+    std::map<int, Raw> logs;
+};
+
+/**
+ * Replay body: submits the trace's requests with their recorded
+ * pacing (relative offsets), synchronizes at the end of each pass,
+ * and loops until the simulation stops. Each pass is one round.
+ */
+Co traceReplayBody(Task &t, RequestTraceLog log);
+
+} // namespace neon
+
+#endif // NEON_WORKLOAD_TRACE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the channel ring buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/ring_buffer.hh"
+
+namespace neon
+{
+namespace
+{
+
+GpuRequest
+req(std::uint64_t ref, Tick service = usec(10))
+{
+    GpuRequest r;
+    r.ref = ref;
+    r.serviceTime = service;
+    return r;
+}
+
+TEST(RingBuffer, StartsEmpty)
+{
+    RingBuffer rb(4);
+    EXPECT_TRUE(rb.empty());
+    EXPECT_FALSE(rb.full());
+    EXPECT_EQ(rb.size(), 0u);
+    EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBuffer, FifoOrder)
+{
+    RingBuffer rb(8);
+    for (std::uint64_t i = 1; i <= 5; ++i)
+        ASSERT_TRUE(rb.push(req(i)));
+    for (std::uint64_t i = 1; i <= 5; ++i)
+        EXPECT_EQ(rb.pop().ref, i);
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, RejectsWhenFull)
+{
+    RingBuffer rb(2);
+    EXPECT_TRUE(rb.push(req(1)));
+    EXPECT_TRUE(rb.push(req(2)));
+    EXPECT_TRUE(rb.full());
+    EXPECT_FALSE(rb.push(req(3)));
+    EXPECT_EQ(rb.size(), 2u);
+}
+
+TEST(RingBuffer, FrontDoesNotPop)
+{
+    RingBuffer rb(4);
+    rb.push(req(7));
+    EXPECT_EQ(rb.front().ref, 7u);
+    EXPECT_EQ(rb.size(), 1u);
+    EXPECT_EQ(rb.pop().ref, 7u);
+}
+
+TEST(RingBuffer, ClearDropsEverything)
+{
+    RingBuffer rb(4);
+    rb.push(req(1));
+    rb.push(req(2));
+    rb.clear();
+    EXPECT_TRUE(rb.empty());
+    EXPECT_TRUE(rb.push(req(3)));
+}
+
+TEST(RingBuffer, ReusableAfterDrain)
+{
+    RingBuffer rb(2);
+    for (int round = 0; round < 100; ++round) {
+        ASSERT_TRUE(rb.push(req(2 * round + 1)));
+        ASSERT_TRUE(rb.push(req(2 * round + 2)));
+        ASSERT_TRUE(rb.full());
+        rb.pop();
+        rb.pop();
+        ASSERT_TRUE(rb.empty());
+    }
+}
+
+} // namespace
+} // namespace neon

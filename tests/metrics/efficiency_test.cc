@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the evaluation metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/efficiency.hh"
+
+namespace neon
+{
+namespace
+{
+
+TEST(Efficiency, PerfectSharingSumsToOne)
+{
+    // Two tasks each at exactly 2x their solo time.
+    EXPECT_DOUBLE_EQ(concurrencyEfficiency({100, 200}, {200, 400}), 1.0);
+}
+
+TEST(Efficiency, LostResourcesSumBelowOne)
+{
+    EXPECT_LT(concurrencyEfficiency({100, 100}, {250, 250}), 1.0);
+}
+
+TEST(Efficiency, SynergySumsAboveOne)
+{
+    // Overlapped DMA/compute: both faster than 2x.
+    EXPECT_GT(concurrencyEfficiency({100, 100}, {150, 150}), 1.0);
+}
+
+TEST(Efficiency, SoloTaskIsOne)
+{
+    EXPECT_DOUBLE_EQ(concurrencyEfficiency({100}, {100}), 1.0);
+}
+
+TEST(Efficiency, ZeroCorunTimeContributesNothing)
+{
+    EXPECT_DOUBLE_EQ(concurrencyEfficiency({100, 100}, {200, 0.0}), 0.5);
+}
+
+TEST(EfficiencyDeathTest, MismatchedSeriesPanics)
+{
+    EXPECT_DEATH(concurrencyEfficiency({1.0}, {1.0, 2.0}), "mismatch");
+}
+
+TEST(Slowdown, Basics)
+{
+    EXPECT_DOUBLE_EQ(slowdown(100, 200), 2.0);
+    EXPECT_DOUBLE_EQ(slowdown(0, 200), 0.0);
+}
+
+TEST(JainIndex, EqualSharesGiveOne)
+{
+    EXPECT_DOUBLE_EQ(jainIndex({2.0, 2.0, 2.0, 2.0}), 1.0);
+}
+
+TEST(JainIndex, SkewLowersIndex)
+{
+    EXPECT_LT(jainIndex({1.0, 10.0}), 0.65);
+    EXPECT_GT(jainIndex({1.0, 10.0}), 0.5); // lower bound 1/n
+}
+
+TEST(JainIndex, EmptyIsOne)
+{
+    EXPECT_DOUBLE_EQ(jainIndex({}), 1.0);
+}
+
+} // namespace
+} // namespace neon

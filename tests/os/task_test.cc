@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for Task: channel opening, submission, user-space
+ * completion spinning, round accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/device.hh"
+#include "os/kernel.hh"
+#include "sched/direct.hh"
+#include "sim/event_queue.hh"
+
+namespace neon
+{
+namespace
+{
+
+struct TaskFixture : public ::testing::Test
+{
+    EventQueue eq;
+    UsageMeter meter;
+    DeviceConfig dcfg;
+    CostModel costs;
+    std::unique_ptr<GpuDevice> dev;
+    std::unique_ptr<KernelModule> kernel;
+    std::unique_ptr<DirectScheduler> sched;
+
+    void
+    build()
+    {
+        dev = std::make_unique<GpuDevice>(eq, dcfg, meter);
+        kernel = std::make_unique<KernelModule>(eq, *dev, costs);
+        sched = std::make_unique<DirectScheduler>(*kernel);
+        kernel->setScheduler(sched.get());
+    }
+};
+
+Co
+oneShotBody(Task &t, Tick service, bool *done)
+{
+    Channel *c = co_await t.openChannel(RequestClass::Compute);
+    if (!c)
+        co_return; // *done stays false; the test will notice
+
+    t.beginRound();
+    const std::uint64_t ref =
+        co_await t.submit(*c, RequestClass::Compute, service);
+    co_await t.waitRef(*c, ref);
+    t.endRound();
+    *done = true;
+}
+
+TEST_F(TaskFixture, SubmitAndSpinCompletes)
+{
+    build();
+    Task task(*kernel, "app");
+    bool done = false;
+    kernel->startTask(task, oneShotBody(task, usec(100), &done));
+    kernel->start();
+    eq.runUntil(msec(10));
+
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(task.done());
+    EXPECT_EQ(task.roundTimes().count(), 1u);
+    // Round = doorbell write + service (plus sub-us rounding).
+    EXPECT_NEAR(task.roundTimes().mean(), 100.1, 0.5);
+}
+
+TEST_F(TaskFixture, PidsAreUnique)
+{
+    build();
+    Task a(*kernel, "a"), b(*kernel, "b"), c(*kernel, "c");
+    EXPECT_NE(a.pid(), b.pid());
+    EXPECT_NE(b.pid(), c.pid());
+    EXPECT_EQ(kernel->tasks().size(), 3u);
+}
+
+TEST_F(TaskFixture, FindTaskByPid)
+{
+    build();
+    Task a(*kernel, "a");
+    EXPECT_EQ(kernel->findTask(a.pid()), &a);
+    EXPECT_EQ(kernel->findTask(9999), nullptr);
+}
+
+Co
+openOnlyBody(Task &t, RequestClass cls, Channel **out)
+{
+    *out = co_await t.openChannel(cls);
+}
+
+TEST_F(TaskFixture, OpenChannelTakesSyscallTime)
+{
+    build();
+    Task task(*kernel, "app");
+    Channel *chan = nullptr;
+    kernel->startTask(task, openOnlyBody(task, RequestClass::Compute,
+                                         &chan));
+    kernel->start();
+    eq.runFor(msec(200));
+
+    ASSERT_NE(chan, nullptr);
+    EXPECT_EQ(task.openResult, OpenResult::Ok);
+    EXPECT_GE(eq.now(), costs.syscallEntry + costs.channelOpen);
+    // The tracker saw all three VMAs and activated the channel.
+    EXPECT_TRUE(kernel->tracker().isActive(chan->id()));
+    EXPECT_EQ(kernel->activeChannels().size(), 1u);
+}
+
+TEST_F(TaskFixture, ChannelOwnershipRecorded)
+{
+    build();
+    Task task(*kernel, "app");
+    Channel *chan = nullptr;
+    kernel->startTask(task, openOnlyBody(task, RequestClass::Compute,
+                                         &chan));
+    kernel->start();
+    eq.runFor(msec(200));
+
+    ASSERT_EQ(task.channels().size(), 1u);
+    EXPECT_EQ(task.channels()[0], chan);
+    EXPECT_EQ(chan->context().taskId(), task.pid());
+}
+
+Co
+pipelinedBody(Task &t, int n, Tick service, Tick *finished)
+{
+    Channel *c = co_await t.openChannel(RequestClass::Compute);
+    std::uint64_t last = 0;
+    for (int i = 0; i < n; ++i)
+        last = co_await t.submit(*c, RequestClass::Compute, service);
+    co_await t.waitRef(*c, last);
+    *finished = t.now();
+}
+
+TEST_F(TaskFixture, PipelinedSubmissionsOverlapOnDevice)
+{
+    build();
+    Task task(*kernel, "app");
+    Tick finished = 0;
+    kernel->startTask(task, pipelinedBody(task, 5, usec(50), &finished));
+    kernel->start();
+    eq.runFor(msec(200));
+
+    // 5 x 50us back-to-back on the device; CPU submission cost hides
+    // under the first request's service.
+    const Tick open_time = costs.syscallEntry + costs.channelOpen;
+    EXPECT_GT(finished, open_time + usec(250));
+    EXPECT_LT(finished, open_time + usec(253));
+    EXPECT_TRUE(task.done());
+}
+
+TEST_F(TaskFixture, ResetStatsClearsRounds)
+{
+    build();
+    Task task(*kernel, "app");
+    bool done = false;
+    kernel->startTask(task, oneShotBody(task, usec(10), &done));
+    kernel->start();
+    eq.runFor(msec(200));
+    ASSERT_EQ(task.roundTimes().count(), 1u);
+    task.resetStats();
+    EXPECT_EQ(task.roundTimes().count(), 0u);
+}
+
+} // namespace
+} // namespace neon

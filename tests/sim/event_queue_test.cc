@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the discrete-event core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace neon
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.drain();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30);
+}
+
+TEST(EventQueue, TiesRunInInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.drain();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventId id = eq.schedule(10, [&] { ran = true; });
+    eq.cancel(id);
+    eq.drain();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, CancelIsIdempotentAndIgnoresStaleIds)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(10, [] {});
+    eq.cancel(id);
+    eq.cancel(id);
+    eq.cancel(12345);
+    eq.drain();
+    SUCCEED();
+}
+
+TEST(EventQueue, RunUntilAdvancesClockEvenWithoutEvents)
+{
+    EventQueue eq;
+    eq.runUntil(500);
+    EXPECT_EQ(eq.now(), 500);
+}
+
+TEST(EventQueue, RunUntilExecutesOnlyDueEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(100, [&] { ++count; });
+    eq.schedule(200, [&] { ++count; });
+    eq.runUntil(150);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.now(), 150);
+    eq.runUntil(250);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, EventsMayRescheduleThemselves)
+{
+    EventQueue eq;
+    int fires = 0;
+    std::function<void()> tick = [&] {
+        ++fires;
+        if (fires < 5)
+            eq.scheduleIn(10, tick);
+    };
+    eq.scheduleIn(10, tick);
+    eq.runUntil(1000);
+    EXPECT_EQ(fires, 5);
+    EXPECT_EQ(eq.now(), 1000);
+}
+
+TEST(EventQueue, ScheduleAtCurrentTickRunsAfterCurrentEvent)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(1);
+        eq.scheduleIn(0, [&] { order.push_back(2); });
+        order.push_back(3);
+    });
+    eq.drain();
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(EventQueue, PendingAndExecutedCounts)
+{
+    EventQueue eq;
+    eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.drain();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.executed(), 2u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.drain();
+    ASSERT_EQ(eq.now(), 10);
+    EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+}
+
+} // namespace
+} // namespace neon

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and distribution transforms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+namespace neon
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIsInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng r(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.uniformInt(3, 7);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 7);
+        saw_lo |= v == 3;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng r(17);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(42.0);
+    EXPECT_NEAR(sum / n, 42.0, 1.0);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(19);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double x = r.normal();
+        sum += x;
+        sum2 += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMeanAndCv)
+{
+    Rng r(23);
+    const double mean = 66.0, cv = 0.3;
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) {
+        double x = r.lognormal(mean, cv);
+        ASSERT_GT(x, 0.0);
+        sum += x;
+        sum2 += x * x;
+    }
+    const double m = sum / n;
+    const double var = sum2 / n - m * m;
+    EXPECT_NEAR(m, mean, mean * 0.02);
+    EXPECT_NEAR(std::sqrt(var) / m, cv, 0.03);
+}
+
+TEST(Rng, LognormalZeroCvIsDeterministic)
+{
+    Rng r(29);
+    EXPECT_DOUBLE_EQ(r.lognormal(100.0, 0.0), 100.0);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng r(31);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(37);
+    Rng child = a.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == child.next();
+    EXPECT_LT(same, 3);
+}
+
+} // namespace
+} // namespace neon

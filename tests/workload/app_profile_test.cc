@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the Table 1 profile registry and request mixtures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/app_profile.hh"
+
+namespace neon
+{
+namespace
+{
+
+TEST(AppRegistry, HasAllEighteenBenchmarks)
+{
+    EXPECT_EQ(AppRegistry::all().size(), 18u);
+}
+
+TEST(AppRegistry, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &p : AppRegistry::all())
+        names.insert(p.name);
+    EXPECT_EQ(names.size(), AppRegistry::all().size());
+}
+
+TEST(AppRegistry, LookupByName)
+{
+    const AppProfile &dct = AppRegistry::byName("DCT");
+    EXPECT_EQ(dct.area, "Compression");
+    EXPECT_DOUBLE_EQ(dct.paperRoundUs, 197.0);
+    EXPECT_DOUBLE_EQ(dct.paperReqUs, 66.0);
+}
+
+TEST(AppRegistryDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(AppRegistry::byName("NoSuchApp"), "unknown");
+}
+
+TEST(AppRegistry, CombinedAppsHaveMultipleChannels)
+{
+    const AppProfile &p = AppRegistry::byName("oclParticles");
+    EXPECT_TRUE(p.usesCompute());
+    EXPECT_TRUE(p.usesGraphics());
+    EXPECT_TRUE(p.usesDma());
+    EXPECT_EQ(p.channelCount(), 3);
+    EXPECT_DOUBLE_EQ(p.paperReqUs, 12.0);
+    EXPECT_DOUBLE_EQ(p.paperReqUs2, 302.0);
+}
+
+TEST(AppRegistry, PureComputeAppsHaveOneChannel)
+{
+    const AppProfile &p = AppRegistry::byName("FFT");
+    EXPECT_EQ(p.channelCount(), 1);
+    EXPECT_FALSE(p.usesGraphics());
+}
+
+TEST(AppRegistry, StageDependentAppsAreSerialized)
+{
+    EXPECT_TRUE(AppRegistry::byName("BitonicSort").serialized);
+    EXPECT_TRUE(AppRegistry::byName("FloydWarshall").serialized);
+    EXPECT_TRUE(AppRegistry::byName("FastWalshTransform").serialized);
+    EXPECT_FALSE(AppRegistry::byName("DCT").serialized);
+    EXPECT_FALSE(AppRegistry::byName("MatrixMulDouble").serialized);
+}
+
+TEST(RequestMix, FixedMixMeanMatches)
+{
+    RequestMix mix = RequestMix::fixed(66.0);
+    EXPECT_DOUBLE_EQ(mix.meanUs(), 66.0);
+}
+
+TEST(RequestMix, MixtureMeanIsWeighted)
+{
+    RequestMix mix{{{0.70, 6.0, 0.4}, {0.30, 109.0, 0.3}}};
+    EXPECT_NEAR(mix.meanUs(), 36.9, 0.01);
+}
+
+TEST(RequestMix, SamplesFollowTheMean)
+{
+    RequestMix mix{{{0.70, 6.0, 0.4}, {0.30, 109.0, 0.3}}};
+    Rng rng(99);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += toUsec(mix.sample(rng));
+    EXPECT_NEAR(sum / n, mix.meanUs(), 1.0);
+}
+
+TEST(RequestMix, SamplesArePositive)
+{
+    RequestMix mix = RequestMix::fixed(10.0, 0.5);
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_GT(mix.sample(rng), 0);
+}
+
+TEST(AppRegistry, GlxgearsMatchesFigure2Shape)
+{
+    // The mixture behind glxgears must both average the Table 1 request
+    // size and put most requests below 10us (Figure 2).
+    const AppProfile &p = AppRegistry::byName("glxgears");
+    EXPECT_NEAR(p.graphicsMix.meanUs(), 37.0, 1.0);
+
+    Rng rng(3);
+    int below10 = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        below10 += toUsec(p.graphicsMix.sample(rng)) < 10.0;
+    EXPECT_GT(below10, n / 2);
+}
+
+} // namespace
+} // namespace neon
