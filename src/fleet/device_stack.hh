@@ -1,0 +1,59 @@
+/**
+ * @file
+ * One device's full stack inside a fleet: ground-truth meter, device
+ * model, kernel module, and the per-device scheduling policy. Stacks
+ * share the fleet's event queue (one simulated timeline) but are
+ * otherwise fully independent — exactly N copies of the single-device
+ * world the paper evaluates.
+ */
+
+#ifndef NEON_FLEET_DEVICE_STACK_HH
+#define NEON_FLEET_DEVICE_STACK_HH
+
+#include <cstddef>
+#include <memory>
+
+#include "gpu/device.hh"
+#include "gpu/usage_meter.hh"
+#include "os/kernel.hh"
+#include "sim/event_queue.hh"
+
+namespace neon
+{
+
+/** A single accelerator stack within a fleet. */
+class DeviceStack
+{
+  public:
+    DeviceStack(EventQueue &eq, std::size_t index,
+                const DeviceConfig &device_cfg, const CostModel &costs,
+                const ChannelPolicy &channel_policy, Tick poll_period)
+        : index(index), device(eq, device_cfg, meter),
+          kernel(eq, device, costs, channel_policy)
+    {
+        kernel.polling().setPeriod(poll_period);
+    }
+
+    DeviceStack(const DeviceStack &) = delete;
+    DeviceStack &operator=(const DeviceStack &) = delete;
+
+    /** Install the per-device scheduling policy (owned by the stack). */
+    void
+    setScheduler(std::unique_ptr<Scheduler> s)
+    {
+        sched = std::move(s);
+        kernel.setScheduler(sched.get());
+    }
+
+    /** Position of this stack in the fleet. */
+    const std::size_t index;
+
+    UsageMeter meter;
+    GpuDevice device;
+    KernelModule kernel;
+    std::unique_ptr<Scheduler> sched;
+};
+
+} // namespace neon
+
+#endif // NEON_FLEET_DEVICE_STACK_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Configuration for a multi-device fleet (src/fleet).
+ *
+ * A fleet instantiates N independent device stacks (GpuDevice +
+ * KernelModule + Scheduler) behind one FleetManager and routes task
+ * principals to devices through a pluggable placement policy. Devices
+ * may be heterogeneous: per-device speed factors scale request service
+ * times (DeviceConfig::speedFactor).
+ */
+
+#ifndef NEON_FLEET_FLEET_CONFIG_HH
+#define NEON_FLEET_FLEET_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace neon
+{
+
+/** Which placement policy routes tasks to devices. */
+enum class PlacementKind
+{
+    /** Cycle through devices in index order. */
+    RoundRobin,
+
+    /** Least accumulated busy time (UsageMeter), then fewest tasks. */
+    LeastLoaded,
+
+    /**
+     * MQFQ-Sticky-style affinity: tasks with the same affinity key
+     * prefer the same device, spilling to the least-loaded device when
+     * the preferred one is over its stickiness capacity.
+     */
+    Sticky,
+
+    /**
+     * Gavel-style heterogeneity awareness: places where the
+     * speed-normalized resident demand (sum of the tasks' demand
+     * hints divided by the device's speed factor) stays lowest, with
+     * normalized busy time as the tie-break — so faster devices
+     * receive proportionally more work.
+     */
+    HeterogeneityAware,
+};
+
+/** Display name of a placement policy. */
+std::string placementKindName(PlacementKind k);
+
+/** Fleet-level configuration. */
+struct FleetConfig
+{
+    /** Number of device stacks. 1 keeps single-device behaviour. */
+    std::size_t devices = 1;
+
+    /** Task-to-device routing policy. */
+    PlacementKind placement = PlacementKind::RoundRobin;
+
+    /**
+     * Per-device speed factors (see DeviceConfig::speedFactor).
+     * Devices beyond the vector's length keep the device template's
+     * own factor; empty = homogeneous at the template's speed.
+     */
+    std::vector<double> speedFactors;
+
+    /**
+     * Sticky placement: tasks a device will hold before an arriving
+     * task with a mapped affinity key spills elsewhere.
+     */
+    std::size_t stickyCapacity = 2;
+
+    /** Effective speed factor of device @p i; @p fallback when unset. */
+    double
+    speedFactorOf(std::size_t i, double fallback = 1.0) const
+    {
+        return i < speedFactors.size() ? speedFactors[i] : fallback;
+    }
+};
+
+} // namespace neon
+
+#endif // NEON_FLEET_FLEET_CONFIG_HH

@@ -1,0 +1,152 @@
+#include "fleet/fleet_manager.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace neon
+{
+
+FleetManager::FleetManager(EventQueue &eq, const FleetConfig &cfg,
+                           const DeviceConfig &device_template,
+                           const CostModel &costs,
+                           const ChannelPolicy &channel_policy,
+                           Tick poll_period,
+                           const SchedulerFactory &make_scheduler)
+    : policy(makePlacementPolicy(cfg))
+{
+    if (cfg.devices == 0)
+        panic("fleet: device count must be at least 1");
+
+    stacks.reserve(cfg.devices);
+    for (std::size_t i = 0; i < cfg.devices; ++i) {
+        DeviceConfig dcfg = device_template;
+        dcfg.speedFactor =
+            cfg.speedFactorOf(i, device_template.speedFactor);
+        auto stack = std::make_unique<DeviceStack>(
+            eq, i, dcfg, costs, channel_policy, poll_period);
+        stack->setScheduler(
+            make_scheduler(stack->kernel, stack->meter, i));
+        stacks.push_back(std::move(stack));
+    }
+}
+
+Task &
+FleetManager::createTask(const PlacementRequest &req)
+{
+    const std::size_t device = policy->place(loadViews(), req);
+    if (device >= stacks.size())
+        panic("fleet: placement chose device ", device, " of ",
+              stacks.size());
+
+    auto task =
+        std::make_unique<Task>(stacks[device]->kernel, req.label);
+    Task &ref = *task;
+    placed.push_back({std::move(task), req, device});
+    taskRefs.push_back(&ref);
+    return ref;
+}
+
+void
+FleetManager::startTask(Task &t, Co body)
+{
+    stacks[deviceOf(t)]->kernel.startTask(t, std::move(body));
+}
+
+void
+FleetManager::start()
+{
+    for (auto &s : stacks)
+        s->kernel.start();
+}
+
+std::size_t
+FleetManager::deviceOf(const Task &t) const
+{
+    for (const Placed &p : placed) {
+        if (p.task.get() == &t)
+            return p.device;
+    }
+    panic("fleet: task ", t.name(), " was not placed by this manager");
+}
+
+std::vector<DeviceLoadView>
+FleetManager::loadViews() const
+{
+    std::vector<DeviceLoadView> views;
+    views.reserve(stacks.size());
+    for (const auto &s : stacks) {
+        DeviceLoadView v;
+        v.index = s->index;
+        v.speedFactor = s->device.config().speedFactor;
+        v.busyTime = s->meter.totalBusy();
+        views.push_back(v);
+    }
+    // Killed/finished tasks no longer hold a placement slot, so sticky
+    // capacity (and load tie-breaks) drain as tenants depart.
+    for (const Placed &p : placed) {
+        if (!p.task->killed() && !p.task->done()) {
+            ++views[p.device].assignedTasks;
+            views[p.device].assignedDemand += p.req.demand;
+        }
+    }
+    return views;
+}
+
+std::vector<FleetTaskUsage>
+FleetManager::taskUsage() const
+{
+    std::vector<FleetTaskUsage> out;
+    out.reserve(placed.size());
+    for (const Placed &p : placed) {
+        const UsageMeter &m = stacks[p.device]->meter;
+        FleetTaskUsage u;
+        u.label = p.req.label;
+        u.device = p.device;
+        u.pid = p.task->pid();
+        u.busy = m.busyOf(p.task->pid());
+        u.requests = m.requestsOf(p.task->pid());
+        u.killed = p.task->killed();
+        out.push_back(std::move(u));
+    }
+    return out;
+}
+
+std::vector<Tick>
+FleetManager::perDeviceBusy() const
+{
+    std::vector<Tick> out;
+    out.reserve(stacks.size());
+    for (const auto &s : stacks)
+        out.push_back(s->meter.totalBusy());
+    return out;
+}
+
+Tick
+FleetManager::totalBusy() const
+{
+    Tick sum = 0;
+    for (const auto &s : stacks)
+        sum += s->meter.totalBusy();
+    return sum;
+}
+
+std::uint64_t
+FleetManager::totalRequests() const
+{
+    std::uint64_t sum = 0;
+    for (const Placed &p : placed)
+        sum += stacks[p.device]->meter.requestsOf(p.task->pid());
+    return sum;
+}
+
+std::uint64_t
+FleetManager::totalKills() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &s : stacks)
+        sum += s->kernel.killCount();
+    return sum;
+}
+
+} // namespace neon

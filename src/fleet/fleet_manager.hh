@@ -1,0 +1,120 @@
+/**
+ * @file
+ * FleetManager: N device stacks behind one placement policy.
+ *
+ * The manager owns the stacks and the task principals, routes each new
+ * task to a device via the configured PlacementPolicy, and aggregates
+ * per-task and per-device usage across the fleet. Scheduling policy
+ * construction is delegated to a factory so any single-device policy
+ * (Direct, Timeslice, DisengagedTimeslice, DisengagedFq, EngagedFq)
+ * composes unchanged with the fleet layer.
+ */
+
+#ifndef NEON_FLEET_FLEET_MANAGER_HH
+#define NEON_FLEET_FLEET_MANAGER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/device_stack.hh"
+#include "fleet/fleet_config.hh"
+#include "fleet/placement.hh"
+#include "os/task.hh"
+#include "sim/coroutine.hh"
+
+namespace neon
+{
+
+/**
+ * Builds the per-device scheduling policy. The device's ground-truth
+ * meter is passed so vendor-assisted modes (DfqConfig::Attribution::
+ * DeviceCounters) can be wired per device.
+ */
+using SchedulerFactory = std::function<std::unique_ptr<Scheduler>(
+    KernelModule &, const UsageMeter &, std::size_t device_index)>;
+
+/** Aggregated view of one fleet task (metrics/benches). */
+struct FleetTaskUsage
+{
+    std::string label;
+    std::size_t device = 0;
+    int pid = 0;              ///< pid within the owning device's kernel
+    Tick busy = 0;            ///< ground-truth device time
+    std::uint64_t requests = 0;
+    bool killed = false;
+};
+
+/** A pool of device stacks with placement-based task routing. */
+class FleetManager
+{
+  public:
+    FleetManager(EventQueue &eq, const FleetConfig &cfg,
+                 const DeviceConfig &device_template,
+                 const CostModel &costs,
+                 const ChannelPolicy &channel_policy, Tick poll_period,
+                 const SchedulerFactory &make_scheduler);
+
+    FleetManager(const FleetManager &) = delete;
+    FleetManager &operator=(const FleetManager &) = delete;
+
+    std::size_t deviceCount() const { return stacks.size(); }
+    DeviceStack &stack(std::size_t i) { return *stacks.at(i); }
+    const DeviceStack &stack(std::size_t i) const { return *stacks.at(i); }
+    PlacementPolicy &placement() { return *policy; }
+
+    /**
+     * Create a task and place it on a device chosen by the policy.
+     * The manager owns the task for the fleet's lifetime.
+     */
+    Task &createTask(const PlacementRequest &req);
+
+    /** Begin executing a placed task's body on its device's kernel. */
+    void startTask(Task &t, Co body);
+
+    /** Start every device's kernel (polling + policy timers). */
+    void start();
+
+    /** Device index a task was placed on. */
+    std::size_t deviceOf(const Task &t) const;
+
+    /** Snapshot of per-device load, ordered by device index. */
+    std::vector<DeviceLoadView> loadViews() const;
+
+    /** Per-task usage aggregated across all devices, placement order. */
+    std::vector<FleetTaskUsage> taskUsage() const;
+
+    /** Per-device busy time, ordered by device index. */
+    std::vector<Tick> perDeviceBusy() const;
+
+    /** Total busy time across the fleet. */
+    Tick totalBusy() const;
+
+    /** Total completed requests across the fleet's tasks. */
+    std::uint64_t totalRequests() const;
+
+    /** Total protection kills across the fleet. */
+    std::uint64_t totalKills() const;
+
+    const std::vector<Task *> &tasks() const { return taskRefs; }
+
+  private:
+    struct Placed
+    {
+        std::unique_ptr<Task> task;
+        PlacementRequest req;
+        std::size_t device;
+    };
+
+    std::vector<std::unique_ptr<DeviceStack>> stacks;
+    std::unique_ptr<PlacementPolicy> policy;
+    std::vector<Placed> placed;
+    std::vector<Task *> taskRefs;
+};
+
+} // namespace neon
+
+#endif // NEON_FLEET_FLEET_MANAGER_HH

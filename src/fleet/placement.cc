@@ -1,0 +1,154 @@
+#include "fleet/placement.hh"
+
+#include "sim/logging.hh"
+
+namespace neon
+{
+
+std::string
+placementKindName(PlacementKind k)
+{
+    switch (k) {
+      case PlacementKind::RoundRobin:
+        return "round-robin";
+      case PlacementKind::LeastLoaded:
+        return "least-loaded";
+      case PlacementKind::Sticky:
+        return "sticky";
+      case PlacementKind::HeterogeneityAware:
+        return "heterogeneity-aware";
+    }
+    return "?";
+}
+
+namespace
+{
+
+constexpr std::size_t noExclusion = static_cast<std::size_t>(-1);
+
+/**
+ * Index of the device minimizing busy time, tie-broken by live task
+ * count and then by index. @p exclude names a device to skip (sticky
+ * overflow must not spill back onto the over-capacity home device);
+ * it is ignored when it would leave no candidates.
+ */
+std::size_t
+leastLoadedIndex(const std::vector<DeviceLoadView> &devices,
+                 std::size_t exclude = noExclusion)
+{
+    std::size_t best = 0;
+    double best_busy = 0.0, best_tasks = 0.0;
+    bool first = true;
+    for (const DeviceLoadView &d : devices) {
+        if (d.index == exclude && devices.size() > 1)
+            continue;
+        const double busy = static_cast<double>(d.busyTime);
+        const double tasks = static_cast<double>(d.assignedTasks);
+        if (first || busy < best_busy ||
+            (busy == best_busy && tasks < best_tasks)) {
+            first = false;
+            best = d.index;
+            best_busy = busy;
+            best_tasks = tasks;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+std::size_t
+RoundRobinPlacement::place(const std::vector<DeviceLoadView> &devices,
+                           const PlacementRequest &req)
+{
+    (void)req;
+    const std::size_t chosen = next % devices.size();
+    next = (next + 1) % devices.size();
+    return devices[chosen].index;
+}
+
+std::size_t
+LeastLoadedPlacement::place(const std::vector<DeviceLoadView> &devices,
+                            const PlacementRequest &req)
+{
+    (void)req;
+    return leastLoadedIndex(devices);
+}
+
+std::size_t
+StickyPlacement::place(const std::vector<DeviceLoadView> &devices,
+                       const PlacementRequest &req)
+{
+    const std::string key =
+        req.affinityKey.empty() ? req.label : req.affinityKey;
+
+    auto it = affinity.find(key);
+    if (it != affinity.end()) {
+        // Prefer the mapped device unless it is over capacity; spill
+        // keeps the mapping so later arrivals return once load drains.
+        for (const DeviceLoadView &d : devices) {
+            if (d.index == it->second) {
+                if (d.assignedTasks < capacity)
+                    return d.index;
+                break;
+            }
+        }
+        return leastLoadedIndex(devices, it->second);
+    }
+
+    const std::size_t chosen = leastLoadedIndex(devices);
+    affinity.emplace(key, chosen);
+    return chosen;
+}
+
+int
+StickyPlacement::preferredOf(const std::string &key) const
+{
+    auto it = affinity.find(key);
+    return it == affinity.end() ? -1 : static_cast<int>(it->second);
+}
+
+std::size_t
+HeterogeneityAwarePlacement::place(
+    const std::vector<DeviceLoadView> &devices,
+    const PlacementRequest &req)
+{
+    // Score = normalized load after accepting the task: (resident
+    // demand + arriving demand) / speed, tie-broken by normalized busy
+    // time. Faster devices absorb proportionally more demand,
+    // reproducing a throughput-aware assignment.
+    std::size_t best = 0;
+    double best_score = 0.0, best_busy = 0.0;
+    bool first = true;
+    for (const DeviceLoadView &d : devices) {
+        const double speed = d.speedFactor > 0.0 ? d.speedFactor : 1.0;
+        const double score = (d.assignedDemand + req.demand) / speed;
+        const double busy = static_cast<double>(d.busyTime) / speed;
+        if (first || score < best_score ||
+            (score == best_score && busy < best_busy)) {
+            first = false;
+            best = d.index;
+            best_score = score;
+            best_busy = busy;
+        }
+    }
+    return best;
+}
+
+std::unique_ptr<PlacementPolicy>
+makePlacementPolicy(const FleetConfig &cfg)
+{
+    switch (cfg.placement) {
+      case PlacementKind::RoundRobin:
+        return std::make_unique<RoundRobinPlacement>();
+      case PlacementKind::LeastLoaded:
+        return std::make_unique<LeastLoadedPlacement>();
+      case PlacementKind::Sticky:
+        return std::make_unique<StickyPlacement>(cfg.stickyCapacity);
+      case PlacementKind::HeterogeneityAware:
+        return std::make_unique<HeterogeneityAwarePlacement>();
+    }
+    panic("unknown placement kind");
+}
+
+} // namespace neon

@@ -13,6 +13,9 @@ GpuDevice::GpuDevice(EventQueue &eq, const DeviceConfig &cfg,
       engines{Engine(EngineKind::Execute, cfg.gfxArbPenalty),
               Engine(EngineKind::Copy, 1)}
 {
+    if (cfg.speedFactor <= 0.0)
+        panic("device: speedFactor must be positive, got ",
+              cfg.speedFactor);
 }
 
 GpuContext *
@@ -132,8 +135,18 @@ GpuDevice::tryDispatch(Engine &e)
     c->setBusyOnDevice(true);
 
     if (!req.isInfinite()) {
+        // Heterogeneous fleets: a faster device completes the same
+        // request in proportionally less wall time. Only the execute
+        // engine scales — DMA is interconnect-bound, like the switch
+        // and cleanup costs.
+        Tick service = req.serviceTime;
+        if (cfg.speedFactor != 1.0 && e.kind == EngineKind::Execute) {
+            service = std::max<Tick>(
+                1, static_cast<Tick>(static_cast<double>(service) /
+                                     cfg.speedFactor));
+        }
         e.completionEvent = eq.schedule(
-            e.serviceStart + req.serviceTime, [this, &e] { finish(e); });
+            e.serviceStart + service, [this, &e] { finish(e); });
     } else {
         e.completionEvent = invalidEventId;
     }

@@ -58,6 +58,17 @@ struct DeviceConfig
 
     /** Device-side cleanup time when a channel is aborted (task kill). */
     Tick abortCleanupCost = usec(50);
+
+    /**
+     * Relative execution speed of this device. Execute-engine service
+     * times (compute/graphics) are divided by this factor at dispatch,
+     * so a factor of 2.0 models a device twice as fast as the
+     * calibration baseline. Heterogeneous fleets (src/fleet) use it
+     * for throughput-aware placement. DMA transfers, switch and
+     * cleanup costs are unaffected — they are interconnect/driver
+     * latencies, not shader throughput. Must be positive.
+     */
+    double speedFactor = 1.0;
 };
 
 } // namespace neon

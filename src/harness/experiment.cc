@@ -81,25 +81,63 @@ RunResult::byLabel(const std::string &label) const
     panic("no task labelled ", label, " in results");
 }
 
+std::unique_ptr<Scheduler>
+makeScheduler(const ExperimentConfig &cfg, KernelModule &kernel,
+              const UsageMeter *vendor_counters)
+{
+    std::unique_ptr<Scheduler> sched;
+    switch (cfg.sched) {
+      case SchedKind::Direct:
+        sched = std::make_unique<DirectScheduler>(kernel);
+        break;
+      case SchedKind::Timeslice:
+        sched =
+            std::make_unique<TimesliceScheduler>(kernel, cfg.timeslice);
+        break;
+      case SchedKind::DisengagedTimeslice:
+        sched =
+            std::make_unique<DisengagedTimeslice>(kernel, cfg.timeslice);
+        break;
+      case SchedKind::DisengagedFq:
+        sched =
+            std::make_unique<DisengagedFairQueueing>(kernel, cfg.dfq);
+        break;
+      case SchedKind::EngagedFq:
+        sched =
+            std::make_unique<EngagedFairQueueing>(kernel, cfg.engagedFq);
+        break;
+    }
+    if (!sched)
+        panic("unknown scheduler kind");
+    if (auto *dfq = dynamic_cast<DisengagedFairQueueing *>(sched.get()))
+        dfq->setVendorCounters(vendor_counters); // DeviceCounters mode
+    return sched;
+}
+
 namespace
 {
 
-std::unique_ptr<Scheduler>
-makeScheduler(const ExperimentConfig &cfg, KernelModule &kernel)
+/** Instantiate a workload body for a task (shared by both worlds). */
+Co
+makeWorkloadBody(Task &t, const WorkloadSpec &spec, std::uint64_t seed)
 {
-    switch (cfg.sched) {
-      case SchedKind::Direct:
-        return std::make_unique<DirectScheduler>(kernel);
-      case SchedKind::Timeslice:
-        return std::make_unique<TimesliceScheduler>(kernel, cfg.timeslice);
-      case SchedKind::DisengagedTimeslice:
-        return std::make_unique<DisengagedTimeslice>(kernel, cfg.timeslice);
-      case SchedKind::DisengagedFq:
-        return std::make_unique<DisengagedFairQueueing>(kernel, cfg.dfq);
-      case SchedKind::EngagedFq:
-        return std::make_unique<EngagedFairQueueing>(kernel, cfg.engagedFq);
+    switch (spec.kind) {
+      case WorkloadSpec::Kind::Profile:
+        return syntheticAppBody(t, AppRegistry::byName(spec.profileName),
+                                seed);
+      case WorkloadSpec::Kind::Throttle:
+        return throttleBody(t, spec.throttleParams, seed);
+      case WorkloadSpec::Kind::Custom:
+        return spec.customBody(t, seed);
     }
-    panic("unknown scheduler kind");
+    panic("unknown workload kind");
+}
+
+/** Deterministic per-task seed derivation (spawn order @p i). */
+std::uint64_t
+taskSeed(const ExperimentConfig &cfg, std::size_t i)
+{
+    return cfg.seed * 0x9e3779b9u + 0x1000 * (i + 1);
 }
 
 } // namespace
@@ -110,10 +148,8 @@ World::World(const ExperimentConfig &cfg)
       cfg(cfg)
 {
     kernel.polling().setPeriod(cfg.pollPeriod);
-    sched = makeScheduler(cfg, kernel);
+    sched = makeScheduler(cfg, kernel, &meter);
     kernel.setScheduler(sched.get());
-    if (auto *dfq = dynamic_cast<DisengagedFairQueueing *>(sched.get()))
-        dfq->setVendorCounters(&meter); // only used in DeviceCounters mode
     if (cfg.collectTraces)
         trace.attach(device);
 }
@@ -135,24 +171,8 @@ World::start()
 {
     for (std::size_t i = 0; i < taskStore.size(); ++i) {
         Task &t = *taskStore[i];
-        const WorkloadSpec &spec = specs[i];
-        const std::uint64_t seed =
-            cfg.seed * 0x9e3779b9u + 0x1000 * (i + 1);
-
-        Co body;
-        switch (spec.kind) {
-          case WorkloadSpec::Kind::Profile:
-            body = syntheticAppBody(
-                t, AppRegistry::byName(spec.profileName), seed);
-            break;
-          case WorkloadSpec::Kind::Throttle:
-            body = throttleBody(t, spec.throttleParams, seed);
-            break;
-          case WorkloadSpec::Kind::Custom:
-            body = spec.customBody(t, seed);
-            break;
-        }
-        kernel.startTask(t, std::move(body));
+        kernel.startTask(t,
+                         makeWorkloadBody(t, specs[i], taskSeed(cfg, i)));
     }
     kernel.start();
 }
@@ -198,6 +218,141 @@ World::results()
         r.tasks.push_back(std::move(tr));
     }
     return r;
+}
+
+const FleetTaskResult &
+FleetRunResult::byLabel(const std::string &label) const
+{
+    for (const auto &t : tasks) {
+        if (t.label == label)
+            return t;
+    }
+    panic("no task labelled ", label, " in fleet results");
+}
+
+FleetWorld::FleetWorld(const ExperimentConfig &cfg)
+    : fleet(eq, cfg.fleet, cfg.device, cfg.costs, cfg.channelPolicy,
+            cfg.pollPeriod,
+            [&cfg](KernelModule &kernel, const UsageMeter &meter,
+                   std::size_t) {
+                return makeScheduler(cfg, kernel, &meter);
+            }),
+      cfg(cfg)
+{
+    if (cfg.collectTraces) {
+        for (std::size_t i = 0; i < fleet.deviceCount(); ++i) {
+            traces.push_back(std::make_unique<RequestTrace>());
+            traces.back()->attach(fleet.stack(i).device);
+        }
+    }
+}
+
+FleetWorld::~FleetWorld() = default;
+
+Task &
+FleetWorld::spawn(const WorkloadSpec &spec)
+{
+    PlacementRequest req;
+    req.label = spec.label;
+    req.affinityKey = spec.affinityKey;
+    req.demand = spec.demand;
+    Task &t = fleet.createTask(req);
+    specs.push_back(spec);
+    return t;
+}
+
+void
+FleetWorld::start()
+{
+    const std::vector<Task *> &tasks = fleet.tasks();
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        Task &t = *tasks[i];
+        fleet.startTask(t,
+                        makeWorkloadBody(t, specs[i], taskSeed(cfg, i)));
+    }
+    fleet.start();
+}
+
+void
+FleetWorld::beginMeasurement()
+{
+    measureStart = eq.now();
+    baselineBusy.clear();
+    baselineRequests.clear();
+    deviceBusyBaseline = fleet.perDeviceBusy();
+    deviceSwitchBaseline.clear();
+    for (std::size_t i = 0; i < fleet.deviceCount(); ++i)
+        deviceSwitchBaseline.push_back(
+            fleet.stack(i).meter.totalSwitchOverhead());
+    vtimeBaseline = fleetDfqVtimes(fleet);
+    for (Task *t : fleet.tasks())
+        t->resetStats();
+    for (const FleetTaskUsage &u : fleet.taskUsage()) {
+        baselineBusy.push_back(u.busy);
+        baselineRequests.push_back(u.requests);
+    }
+    for (auto &t : traces)
+        t->reset();
+}
+
+FleetRunResult
+FleetWorld::results()
+{
+    FleetRunResult r;
+    r.elapsed = eq.now() - measureStart;
+    r.kills = fleet.totalKills();
+
+    r.deviceBusy = fleet.perDeviceBusy();
+    for (std::size_t i = 0; i < r.deviceBusy.size(); ++i) {
+        if (i < deviceBusyBaseline.size())
+            r.deviceBusy[i] -= deviceBusyBaseline[i];
+        r.switchOverhead +=
+            fleet.stack(i).meter.totalSwitchOverhead() -
+            (i < deviceSwitchBaseline.size() ? deviceSwitchBaseline[i]
+                                             : 0);
+    }
+
+    // Window-adjusted per-task usage feeds both the task results and
+    // the fleet fairness indices.
+    std::vector<FleetTaskUsage> usage = fleet.taskUsage();
+    const std::vector<Task *> &tasks = fleet.tasks();
+    for (std::size_t i = 0; i < usage.size(); ++i) {
+        FleetTaskUsage &u = usage[i];
+        u.busy -= i < baselineBusy.size() ? baselineBusy[i] : 0;
+        u.requests -=
+            i < baselineRequests.size() ? baselineRequests[i] : 0;
+
+        FleetTaskResult tr;
+        tr.label = u.label;
+        tr.device = u.device;
+        tr.pid = u.pid;
+        tr.meanRoundUs = tasks[i]->roundTimes().mean();
+        tr.rounds = tasks[i]->roundTimes().count();
+        tr.gpuBusy = u.busy;
+        tr.requests = u.requests;
+        tr.killed = u.killed;
+        r.requests += u.requests;
+        r.tasks.push_back(std::move(tr));
+    }
+
+    r.throughputRps = fleetThroughputRps(r.requests, r.elapsed);
+    r.fairness.taskFairness = fleetTaskFairness(usage, fleet);
+    r.fairness.deviceBalance = fleetDeviceBalance(r.deviceBusy);
+    r.fairness.vtimeSpreadMs = fleetVtimeSpreadMs(fleet, vtimeBaseline);
+    return r;
+}
+
+FleetRunResult
+FleetRunner::run(const std::vector<WorkloadSpec> &specs) const
+{
+    FleetWorld world(cfg);
+    for (const auto &s : specs)
+        world.spawn(s);
+    world.start();
+    world.runFor(cfg.warmup);
+    world.beginMeasurement();
+    world.runFor(cfg.measure);
+    return world.results();
 }
 
 RunResult

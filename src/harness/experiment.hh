@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet_manager.hh"
+#include "fleet/fleet_metrics.hh"
 #include "gpu/device.hh"
 #include "gpu/usage_meter.hh"
 #include "metrics/request_trace.hh"
@@ -59,6 +61,13 @@ struct ExperimentConfig
     DfqConfig dfq;
     EngagedFqConfig engagedFq;
 
+    /**
+     * Multi-device fleet shape (FleetWorld/FleetRunner only; the
+     * single-device World ignores it). Each device runs its own
+     * instance of the policy selected by `sched`.
+     */
+    FleetConfig fleet;
+
     Tick warmup = msec(400);
     Tick measure = sec(4);
     std::uint64_t seed = 42;
@@ -81,11 +90,33 @@ struct WorkloadSpec
     custom(std::string label,
            std::function<Co(Task &, std::uint64_t)> body);
 
+    /** Fleet placement: set the sticky-affinity key (fluent). */
+    WorkloadSpec &
+    withAffinity(std::string key)
+    {
+        affinityKey = std::move(key);
+        return *this;
+    }
+
+    /** Fleet placement: set the relative demand hint (fluent). */
+    WorkloadSpec &
+    withDemand(double d)
+    {
+        demand = d;
+        return *this;
+    }
+
     std::string label;
     enum class Kind { Profile, Throttle, Custom } kind = Kind::Profile;
     std::string profileName;
     ThrottleParams throttleParams;
     std::function<Co(Task &, std::uint64_t)> customBody;
+
+    /** Sticky-placement affinity key (empty = use the label). */
+    std::string affinityKey;
+
+    /** Relative expected load (HeterogeneityAware placement hint). */
+    double demand = 1.0;
 };
 
 /** Per-task outcome of a run. */
@@ -156,6 +187,115 @@ class World
     Tick measureStart = 0;
     Tick busyAtMeasureStart = 0;
     Tick switchAtMeasureStart = 0;
+};
+
+/**
+ * Build the scheduling policy selected by @p cfg for one kernel
+ * module. @p vendor_counters (the device's ground-truth meter) is
+ * wired into policies that support vendor-assisted attribution
+ * (DfqConfig::Attribution::DeviceCounters); pass nullptr to leave the
+ * software-only estimates.
+ */
+std::unique_ptr<Scheduler>
+makeScheduler(const ExperimentConfig &cfg, KernelModule &kernel,
+              const UsageMeter *vendor_counters);
+
+/** Per-task outcome of a fleet run. */
+struct FleetTaskResult
+{
+    std::string label;
+    std::size_t device = 0; ///< device the task was placed on
+    int pid = 0;            ///< pid within that device's kernel
+    double meanRoundUs = 0.0;
+    std::uint64_t rounds = 0;
+    Tick gpuBusy = 0;
+    std::uint64_t requests = 0;
+    bool killed = false;
+};
+
+/** Whole-fleet outcome of a run. */
+struct FleetRunResult
+{
+    std::vector<FleetTaskResult> tasks;
+    Tick elapsed = 0;
+    std::vector<Tick> deviceBusy; ///< per-device busy (window)
+    std::uint64_t requests = 0;   ///< fleet-wide completions (window)
+    Tick switchOverhead = 0;      ///< fleet-wide arbitration overhead
+    std::uint64_t kills = 0;
+    double throughputRps = 0.0;   ///< fleet-wide requests per second
+    FleetFairnessReport fairness;
+
+    const FleetTaskResult &byLabel(const std::string &label) const;
+};
+
+/**
+ * A multi-device simulation world: cfg.fleet.devices independent
+ * device stacks, each running cfg.sched, with tasks routed to devices
+ * by cfg.fleet.placement. The single-device World remains the
+ * unsharded special case.
+ */
+class FleetWorld
+{
+  public:
+    explicit FleetWorld(const ExperimentConfig &cfg);
+    ~FleetWorld();
+
+    FleetWorld(const FleetWorld &) = delete;
+    FleetWorld &operator=(const FleetWorld &) = delete;
+
+    /** Create a task, routed by the placement policy. */
+    Task &spawn(const WorkloadSpec &spec);
+
+    /** Start every device's kernel and all spawned tasks. */
+    void start();
+
+    void runFor(Tick d) { eq.runFor(d); }
+
+    /** Begin the measurement window: snapshot all statistics. */
+    void beginMeasurement();
+
+    /** Harvest results since beginMeasurement(). */
+    FleetRunResult results();
+
+    /** Device @p i's request trace (cfg.collectTraces only). */
+    RequestTrace &
+    traceOf(std::size_t i)
+    {
+        if (i >= traces.size())
+            panic("no trace for device ", i,
+                  traces.empty() ? " (collectTraces not set)" : "");
+        return *traces[i];
+    }
+
+    EventQueue eq;
+    FleetManager fleet;
+
+  private:
+    ExperimentConfig cfg;
+    std::vector<WorkloadSpec> specs; // parallel to fleet.tasks()
+    std::vector<std::unique_ptr<RequestTrace>> traces; // per device
+    std::vector<Tick> baselineBusy;
+    std::vector<std::uint64_t> baselineRequests;
+    std::vector<Tick> deviceBusyBaseline;
+    std::vector<Tick> deviceSwitchBaseline;
+    std::vector<Tick> vtimeBaseline;
+    Tick measureStart = 0;
+};
+
+/** Convenience driver for fleet runs (mirrors ExperimentRunner). */
+class FleetRunner
+{
+  public:
+    explicit FleetRunner(ExperimentConfig cfg) : cfg(std::move(cfg)) {}
+
+    /** Run the given workloads together across the fleet. */
+    FleetRunResult run(const std::vector<WorkloadSpec> &specs) const;
+
+    const ExperimentConfig &config() const { return cfg; }
+    ExperimentConfig &config() { return cfg; }
+
+  private:
+    ExperimentConfig cfg;
 };
 
 /** Convenience driver for the common run patterns. */

@@ -18,6 +18,11 @@
 #ifndef NEON_NEON_HH
 #define NEON_NEON_HH
 
+#include "fleet/device_stack.hh"
+#include "fleet/fleet_config.hh"
+#include "fleet/fleet_manager.hh"
+#include "fleet/fleet_metrics.hh"
+#include "fleet/placement.hh"
 #include "gpu/device.hh"
 #include "gpu/usage_meter.hh"
 #include "harness/experiment.hh"

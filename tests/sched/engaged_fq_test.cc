@@ -57,7 +57,7 @@ TEST(EngagedFq, SizeEstimateConverges)
 {
     ExperimentConfig cfg = efqConfig();
     World world(cfg);
-    Task &t = world.spawn(WorkloadSpec::throttle(usec(430)));
+    world.spawn(WorkloadSpec::throttle(usec(430)));
     world.start();
     world.runFor(sec(1));
 
