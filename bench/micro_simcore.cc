@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "neon/neon.hh"
+#include "simcore_cases.hh"
 
 namespace
 {
@@ -19,14 +20,34 @@ BM_EventQueueScheduleRun(benchmark::State &state)
 {
     for (auto _ : state) {
         EventQueue eq;
-        for (int i = 0; i < 1024; ++i)
-            eq.scheduleIn(i, [] {});
-        eq.drain();
-        benchmark::DoNotOptimize(eq.executed());
+        benchmark::DoNotOptimize(neonbench::scheduleRunBatch(eq, 1024));
     }
     state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_EventQueueScheduleCancelChurn(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        benchmark::DoNotOptimize(
+            neonbench::scheduleCancelChurnBatch(eq, 1024));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleCancelChurn);
+
+void
+BM_EventQueueFleetScale(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        benchmark::DoNotOptimize(neonbench::fleetInterleaveBatch(eq, 512));
+    }
+    state.SetItemsProcessed(state.iterations() * 8 * 512);
+}
+BENCHMARK(BM_EventQueueFleetScale);
 
 void
 BM_DeviceRequestThroughput(benchmark::State &state)

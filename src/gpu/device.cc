@@ -145,8 +145,11 @@ GpuDevice::tryDispatch(Engine &e)
                 1, static_cast<Tick>(static_cast<double>(service) /
                                      cfg.speedFactor));
         }
-        e.completionEvent = eq.schedule(
-            e.serviceStart + service, [this, &e] { finish(e); });
+        // Hot path: one completion event per dispatched request.
+        auto completion = [this, &e] { finish(e); };
+        static_assert(EventCallback::fitsInline<decltype(completion)>);
+        e.completionEvent =
+            eq.schedule(e.serviceStart + service, std::move(completion));
     } else {
         e.completionEvent = invalidEventId;
     }

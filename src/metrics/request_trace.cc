@@ -5,25 +5,39 @@
 namespace neon
 {
 
+RequestTrace::PerTask &
+RequestTrace::slotFor(int task_id)
+{
+    if (task_id < 0)
+        panic("request trace: negative task id ", task_id);
+    const auto idx = static_cast<std::size_t>(task_id);
+    if (idx >= perTask.size()) {
+        perTask.resize(idx + 1);
+        present.resize(idx + 1, 0);
+        lastSubmit.resize(idx + 1, -1);
+    }
+    present[idx] = 1;
+    return perTask[idx];
+}
+
 void
 RequestTrace::attach(GpuDevice &device)
 {
     device.traceSubmit = [this](Channel &c, const GpuRequest &,
                                 Tick when) {
         const int task_id = c.context().taskId();
-        auto &pt = perTask[task_id];
+        auto &pt = slotFor(task_id);
         ++pt.submissions;
 
-        auto it = lastSubmit.find(task_id);
-        if (it != lastSubmit.end())
-            pt.interArrivalUs.add(toUsec(when - it->second));
+        if (lastSubmit[task_id] >= 0)
+            pt.interArrivalUs.add(toUsec(when - lastSubmit[task_id]));
         lastSubmit[task_id] = when;
     };
 
     device.traceComplete = [this](Channel &c, const GpuRequest &r,
                                   Tick start, Tick end) {
         const int task_id = c.context().taskId();
-        auto &pt = perTask[task_id];
+        auto &pt = slotFor(task_id);
         const double us = toUsec(end - start);
         pt.allServiceAccumUs.add(us);
         if (r.awaited) {
@@ -36,16 +50,16 @@ RequestTrace::attach(GpuDevice &device)
 const RequestTrace::PerTask &
 RequestTrace::of(int task_id) const
 {
-    auto it = perTask.find(task_id);
-    if (it == perTask.end())
+    if (!has(task_id))
         panic("no trace recorded for task ", task_id);
-    return it->second;
+    return perTask[task_id];
 }
 
 void
 RequestTrace::reset()
 {
     perTask.clear();
+    present.clear();
     lastSubmit.clear();
 }
 

@@ -12,7 +12,7 @@
 #ifndef NEON_METRICS_REQUEST_TRACE_HH
 #define NEON_METRICS_REQUEST_TRACE_HH
 
-#include <map>
+#include <vector>
 
 #include "gpu/device.hh"
 #include "sim/stats.hh"
@@ -37,13 +37,35 @@ class RequestTrace
         std::uint64_t submissions = 0;
     };
 
+    /**
+     * Per-task record. The returned reference is invalidated when a
+     * previously unseen (higher) task id first submits — storage is a
+     * flat vector — so read results after the run, or re-fetch after
+     * tasks may have joined.
+     */
     const PerTask &of(int task_id) const;
-    bool has(int task_id) const { return perTask.count(task_id) > 0; }
+
+    bool
+    has(int task_id) const
+    {
+        return task_id >= 0 &&
+            static_cast<std::size_t>(task_id) < present.size() &&
+            present[task_id];
+    }
+
     void reset();
 
   private:
-    std::map<int, PerTask> perTask;
-    std::map<int, Tick> lastSubmit; // by task id
+    /**
+     * Task ids are small and dense (pids count up from 1), so flat
+     * vectors indexed by id beat a tree map on the per-submission hot
+     * path. Grown on first touch of an id.
+     */
+    PerTask &slotFor(int task_id);
+
+    std::vector<PerTask> perTask;       // indexed by task id
+    std::vector<unsigned char> present; // 1 iff the id has a record
+    std::vector<Tick> lastSubmit;       // by task id; -1 = none yet
 };
 
 } // namespace neon

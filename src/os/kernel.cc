@@ -224,9 +224,14 @@ KernelModule::submitDoorbell(Task &t, Channel &c, GpuRequest req)
         c.doorbell().noteDirectWrite();
         const int cid = c.id();
         Task *tp = &t;
-        eq.scheduleIn(cost.directDoorbellWrite, [this, tp, cid, req] {
+        // Hot path: one of these runs per direct submission; the
+        // raw-pointer + POD capture must stay inside the event
+        // callback's inline storage.
+        auto deliver = [this, tp, cid, req] {
             finishDoorbell(*tp, cid, req);
-        });
+        };
+        static_assert(EventCallback::fitsInline<decltype(deliver)>);
+        eq.scheduleIn(cost.directDoorbellWrite, std::move(deliver));
         return;
     }
 
@@ -241,9 +246,11 @@ KernelModule::submitDoorbell(Task &t, Channel &c, GpuRequest req)
         const Tick cost_now = cost.faultPath(c.ring().size());
         const int cid = c.id();
         Task *tp = &t;
-        eq.scheduleIn(cost_now, [this, tp, cid, req] {
+        auto deliver = [this, tp, cid, req] {
             finishDoorbell(*tp, cid, req);
-        });
+        };
+        static_assert(EventCallback::fitsInline<decltype(deliver)>);
+        eq.scheduleIn(cost_now, std::move(deliver));
     } else {
         parked[t.pid()] = {c.id(), req};
     }
@@ -271,9 +278,11 @@ KernelModule::releaseParked(Task &t)
 
     const Tick when = cost.faultPath(c->ring().size()) + cost.parkedRelease;
     Task *tp = &t;
-    eq.scheduleIn(when, [this, tp, cid = ps.channelId, req = ps.req] {
+    auto deliver = [this, tp, cid = ps.channelId, req = ps.req] {
         finishDoorbell(*tp, cid, req);
-    });
+    };
+    static_assert(EventCallback::fitsInline<decltype(deliver)>);
+    eq.scheduleIn(when, std::move(deliver));
 }
 
 std::vector<int>

@@ -89,7 +89,11 @@ class PollingService
     void
     scheduleNext()
     {
-        pending = eq.scheduleIn(pollPeriod, [this] { fire(); });
+        // Hot path: one of these per poll period per device, for the
+        // whole run; must stay inside the callback's inline storage.
+        auto tick = [this] { fire(); };
+        static_assert(EventCallback::fitsInline<decltype(tick)>);
+        pending = eq.scheduleIn(pollPeriod, std::move(tick));
     }
 
     void

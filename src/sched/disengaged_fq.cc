@@ -260,8 +260,12 @@ DisengagedFairQueueing::enterFreeRun(Tick length)
 
     if (episodeTimer != invalidEventId)
         kernel.eventQueue().cancel(episodeTimer);
-    episodeTimer = kernel.eventQueue().scheduleIn(
-        length, [this] { episodeBegin(); });
+    // Per-episode timer: rescheduled for the lifetime of the run; the
+    // this-only capture stays inside the callback's inline storage.
+    auto begin = [this] { episodeBegin(); };
+    static_assert(EventCallback::fitsInline<decltype(begin)>);
+    episodeTimer =
+        kernel.eventQueue().scheduleIn(length, std::move(begin));
 }
 
 void
@@ -345,8 +349,10 @@ DisengagedFairQueueing::sampleNext()
                 };
         }
 
+        auto deadline = [this] { endSample(); };
+        static_assert(EventCallback::fitsInline<decltype(deadline)>);
         samplingDeadline = kernel.eventQueue().scheduleIn(
-            cfg.samplingMax, [this] { endSample(); });
+            cfg.samplingMax, std::move(deadline));
 
         kernel.releaseParked(*t);
         return;

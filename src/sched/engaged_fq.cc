@@ -136,9 +136,12 @@ EngagedFairQueueing::onCompletion(int pid, Tick service)
         busy = false;
         servingPid = -1;
         // Anticipate the completing task's next submission before
-        // handing the device to a parked peer.
+        // handing the device to a parked peer. Hot path: one of these
+        // per engaged completion.
+        auto anticipate = [this] { dispatchNext(); };
+        static_assert(EventCallback::fitsInline<decltype(anticipate)>);
         kernel.eventQueue().scheduleIn(cfg.anticipation,
-                                       [this] { dispatchNext(); });
+                                       std::move(anticipate));
     }
 }
 

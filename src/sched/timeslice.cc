@@ -80,8 +80,10 @@ TimesliceScheduler::grant(Task &t)
     tokenHolder = &t;
     lastHolderPid = t.pid();
     sliceEnd = kernel.eventQueue().now() + cfg.slice;
-    sliceTimer = kernel.eventQueue().schedule(
-        sliceEnd, [this] { sliceExpired(); });
+    // One timer per granted slice, for the lifetime of the run.
+    auto expiry = [this] { sliceExpired(); };
+    static_assert(EventCallback::fitsInline<decltype(expiry)>);
+    sliceTimer = kernel.eventQueue().schedule(sliceEnd, std::move(expiry));
     onGrant(t);
     kernel.releaseParked(t);
 }

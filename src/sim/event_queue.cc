@@ -1,83 +1,61 @@
 #include "sim/event_queue.hh"
 
-#include <utility>
-
-#include "sim/logging.hh"
+#include <algorithm>
 
 namespace neon
 {
 
-EventId
-EventQueue::schedule(Tick when, std::function<void()> fn)
+std::uint32_t
+EventQueue::growPool()
 {
-    if (when < curTick)
-        panic("event scheduled in the past: ", when, " < ", curTick);
-    if (!fn)
-        panic("null event callback");
+    if (nSlots >= slotCount)
+        panic("event slot pool exhausted (", nSlots, " slots)");
 
-    EventId id = nextId++;
-    heap.push({when, id});
-    callbacks.emplace(id, std::move(fn));
-    return id;
-}
+    const auto base = static_cast<std::uint32_t>(nSlots);
+    chunks.push_back(std::make_unique<Slot[]>(chunkSize));
+    nSlots += chunkSize;
 
-EventId
-EventQueue::scheduleIn(Tick delay, std::function<void()> fn)
-{
-    if (delay < 0)
-        panic("negative event delay: ", delay);
-    return schedule(curTick + delay, std::move(fn));
+    // Hand out the chunk's first slot; thread the rest onto the free
+    // list with the lowest index on top, so near-term reuse walks the
+    // chunk sequentially (cache-warm).
+    Slot *chunk = chunks.back().get();
+    for (std::size_t i = chunkSize; i-- > 1;) {
+        chunk[i].nextFree = freeHead;
+        freeHead = base + static_cast<std::uint32_t>(i) + 1;
+    }
+    return base;
 }
 
 void
-EventQueue::cancel(EventId id)
+EventQueue::carve()
 {
-    callbacks.erase(id);
-}
-
-bool
-EventQueue::step()
-{
-    while (!heap.empty()) {
-        Entry e = heap.top();
-        heap.pop();
-
-        auto it = callbacks.find(e.id);
-        if (it == callbacks.end())
-            continue; // lazily deleted (cancelled)
-
-        // Move the callback out so the event may reschedule itself.
-        std::function<void()> fn = std::move(it->second);
-        callbacks.erase(it);
-
-        if (e.when < curTick)
-            panic("event time ran backwards");
-        curTick = e.when;
-        ++nExecuted;
-        fn();
-        return true;
-    }
-    return false;
+    // Move the staging heap wholesale into the consume batch and sort
+    // it descending, so execution pops live entries off the back in
+    // O(1). The two vectors swap storage, so capacity is recycled and
+    // steady-state carving performs no allocation.
+    batch.swap(heap);
+    std::sort(batch.begin(), batch.end(),
+              [](const Entry &a, const Entry &b) { return earlier(b, a); });
 }
 
 void
-EventQueue::runUntil(Tick t)
+EventQueue::compact()
 {
-    while (!heap.empty() && heap.top().when <= t) {
-        if (!step())
-            break;
-    }
-    if (t > curTick)
-        curTick = t;
-}
+    const auto stale = [this](const Entry &e) { return !isLive(e); };
+    heap.erase(std::remove_if(heap.begin(), heap.end(), stale),
+               heap.end());
+    // remove_if preserves relative order, so the batch stays sorted.
+    batch.erase(std::remove_if(batch.begin(), batch.end(), stale),
+                batch.end());
+    nStale = 0;
+    ++nCompactions;
 
-std::uint64_t
-EventQueue::drain(std::uint64_t max_events)
-{
-    std::uint64_t n = 0;
-    while (n < max_events && step())
-        ++n;
-    return n;
+    // Floyd heap construction: O(n), entries keep their sequence keys
+    // so the (when, seq) order — and thus determinism — is unchanged.
+    if (heap.size() > 1) {
+        for (std::size_t i = (heap.size() - 2) / 4 + 1; i-- > 0;)
+            siftDown(i);
+    }
 }
 
 } // namespace neon

@@ -55,10 +55,13 @@ Process::resumeAt(Tick delay)
     if (pendingResume != invalidEventId)
         panic("process ", procName, " double resume");
 
-    pendingResume = eq.scheduleIn(delay, [this] {
+    // Hot path: every coroutine await round-trips through here.
+    auto resume = [this] {
         pendingResume = invalidEventId;
         stepBody();
-    });
+    };
+    static_assert(EventCallback::fitsInline<decltype(resume)>);
+    pendingResume = eq.scheduleIn(delay, std::move(resume));
 }
 
 void

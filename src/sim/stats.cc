@@ -1,6 +1,7 @@
 #include "sim/stats.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 
@@ -12,7 +13,9 @@ Accum::add(double v)
 {
     ++n;
     sum += v;
-    sumSq += v * v;
+    const double d = v - m;
+    m += d / static_cast<double>(n);
+    m2 += d * (v - m);
     lo = std::min(lo, v);
     hi = std::max(hi, v);
 }
@@ -20,9 +23,20 @@ Accum::add(double v)
 void
 Accum::merge(const Accum &o)
 {
+    if (o.n == 0)
+        return;
+    if (n == 0) {
+        *this = o;
+        return;
+    }
+
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(o.n);
+    const double d = o.m - m;
+    m2 += o.m2 + d * d * (na * nb / (na + nb));
+    m += d * (nb / (na + nb));
     n += o.n;
     sum += o.sum;
-    sumSq += o.sumSq;
     lo = std::min(lo, o.lo);
     hi = std::max(hi, o.hi);
 }
@@ -38,9 +52,7 @@ Accum::variance() const
 {
     if (n < 2)
         return 0.0;
-    const double m = mean();
-    const double v =
-        (sumSq - static_cast<double>(n) * m * m) / static_cast<double>(n - 1);
+    const double v = m2 / static_cast<double>(n - 1);
     return v > 0.0 ? v : 0.0;
 }
 
@@ -57,9 +69,14 @@ Log2Histogram::Log2Histogram(unsigned max_bin) : bins(max_bin + 1, 0)
 void
 Log2Histogram::add(double value_us)
 {
+    // floor(log2(x)) for x >= 1 equals bit_width(floor(x)) - 1, since
+    // bin edges are exact integers; an integer bit-scan beats the
+    // floating-point log2 on this per-request path.
     unsigned b = 0;
-    if (value_us >= 1.0)
-        b = static_cast<unsigned>(std::floor(std::log2(value_us)));
+    if (value_us >= 1.0) {
+        const auto v = static_cast<std::uint64_t>(value_us);
+        b = static_cast<unsigned>(std::bit_width(v)) - 1;
+    }
     b = std::min<unsigned>(b, maxBin());
     ++bins[b];
     ++n;

@@ -17,7 +17,14 @@
 namespace neon
 {
 
-/** Running mean/min/max/stddev accumulator. */
+/**
+ * Running mean/min/max/stddev accumulator.
+ *
+ * Uses Welford's online algorithm (and Chan et al.'s pairwise update
+ * for merge): the naive sum/sum-of-squares formulation cancels
+ * catastrophically when the mean is large relative to the spread —
+ * e.g. microsecond jitter on top of multi-second timestamps.
+ */
 class Accum
 {
   public:
@@ -27,7 +34,7 @@ class Accum
 
     std::uint64_t count() const { return n; }
     double total() const { return sum; }
-    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    double mean() const { return n ? m : 0.0; }
     double minimum() const { return n ? lo : 0.0; }
     double maximum() const { return n ? hi : 0.0; }
     double variance() const;
@@ -35,8 +42,9 @@ class Accum
 
   private:
     std::uint64_t n = 0;
-    double sum = 0.0;
-    double sumSq = 0.0;
+    double sum = 0.0; ///< kept exactly for total()
+    double m = 0.0;   ///< running mean
+    double m2 = 0.0;  ///< sum of squared deviations from the mean
     double lo = std::numeric_limits<double>::infinity();
     double hi = -std::numeric_limits<double>::infinity();
 };

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Proves the acceptance criterion that steady-state schedule/cancel/
+ * step on the event queue performs zero heap allocations.
+ *
+ * The global operator new/delete pair below counts every allocation in
+ * the test binary; the test warms the queue (pool and heap growth are
+ * amortized start-up costs), then replays the identical workload and
+ * requires the allocation counter not to move.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+std::atomic<std::uint64_t> gAllocCount{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    ++gAllocCount;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace neon
+{
+namespace
+{
+
+/**
+ * A mixed steady-state workload: periodic self-rescheduling ticks
+ * (polling service shape), schedule-then-cancel deadlines (sampling /
+ * timeslice shape), and plain one-shot events (request completions).
+ */
+std::uint64_t
+runWorkload(EventQueue &eq, int rounds)
+{
+    struct Periodic
+    {
+        EventQueue &eq;
+        std::uint64_t fires = 0;
+        int remaining;
+
+        void
+        arm()
+        {
+            eq.scheduleIn(10, [this] {
+                ++fires;
+                if (--remaining > 0)
+                    arm();
+            });
+        }
+    };
+
+    Periodic p{eq, 0, rounds};
+    p.arm();
+
+    EventId deadline = invalidEventId;
+    for (int i = 0; i < rounds; ++i) {
+        eq.scheduleIn(5, [] {});
+        if (deadline != invalidEventId)
+            eq.cancel(deadline);
+        deadline = eq.scheduleIn(100000, [] {});
+        eq.runFor(10);
+    }
+    eq.cancel(deadline);
+    eq.drain();
+    return p.fires;
+}
+
+TEST(EventCoreAllocation, SteadyStateIsAllocationFree)
+{
+    EventQueue eq;
+
+    // Warm-up: grows the slot pool and heap to this workload's
+    // high-water mark (vector capacity persists afterwards).
+    runWorkload(eq, 2000);
+
+    const std::uint64_t before = gAllocCount.load();
+    const std::uint64_t fires = runWorkload(eq, 2000);
+    const std::uint64_t after = gAllocCount.load();
+
+    EXPECT_EQ(fires, 2000u);
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state schedule/cancel/step allocated "
+        << (after - before) << " times";
+}
+
+} // namespace
+} // namespace neon

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -123,6 +124,145 @@ TEST(EventQueue, PendingAndExecutedCounts)
     eq.drain();
     EXPECT_EQ(eq.pending(), 0u);
     EXPECT_EQ(eq.executed(), 2u);
+}
+
+TEST(EventQueue, StaleIdCancelAfterExecutionIsNoOp)
+{
+    EventQueue eq;
+    const EventId a = eq.schedule(10, [] {});
+    eq.drain();
+
+    // The slot a occupied is free for reuse; cancelling a's stale id
+    // must not touch whatever lives there now.
+    bool ran = false;
+    const EventId b = eq.schedule(20, [&] { ran = true; });
+    EXPECT_NE(a, b);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.drain();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, IdReuseAfterCancelIsSafe)
+{
+    EventQueue eq;
+    const EventId a = eq.schedule(10, [] {});
+    eq.cancel(a);
+
+    // The recycled slot now backs b; a's id aliases the slot index but
+    // not its generation.
+    bool ran = false;
+    const EventId b = eq.schedule(10, [&] { ran = true; });
+    EXPECT_NE(a, b);
+    eq.cancel(a);
+    eq.cancel(a);
+    eq.drain();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, SameTickOrderSurvivesInterleavedCancels)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 16; ++i)
+        ids.push_back(eq.schedule(5, [&order, i] { order.push_back(i); }));
+
+    // Cancel the odd ones (recycling their slots), then add a second
+    // wave at the same tick: survivors of wave 1, then wave 2, in
+    // insertion order.
+    for (int i = 1; i < 16; i += 2)
+        eq.cancel(ids[i]);
+    for (int i = 16; i < 24; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+
+    eq.drain();
+
+    std::vector<int> expect;
+    for (int i = 0; i < 16; i += 2)
+        expect.push_back(i);
+    for (int i = 16; i < 24; ++i)
+        expect.push_back(i);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueue, CompactionBoundsHeapUnderHeavyCancel)
+{
+    EventQueue eq;
+
+    // Polling-service-like churn: every scheduled deadline is
+    // cancelled and replaced before it fires. Without compaction the
+    // heap would grow by one stale entry per round.
+    EventId pending = eq.schedule(1'000'000, [] {});
+    for (int round = 0; round < 10'000; ++round) {
+        eq.cancel(pending);
+        pending = eq.schedule(1'000'000 + round, [] {});
+    }
+
+    const auto st = eq.stats();
+    EXPECT_EQ(st.live, 1u);
+    EXPECT_GE(st.compactions, 1u);
+    // Stale entries may linger, but only a bounded fraction.
+    EXPECT_LT(st.heapEntries, 200u);
+    eq.drain();
+    EXPECT_EQ(eq.stats().heapEntries, 0u);
+}
+
+TEST(EventQueue, PendingAndEmptyConsistentAfterChurn)
+{
+    EventQueue eq;
+    std::vector<EventId> keep;
+    std::uint64_t cancelled = 0;
+
+    for (int i = 0; i < 3000; ++i) {
+        const EventId id =
+            eq.schedule(100 + i, [] {});
+        if (i % 3 == 0) {
+            keep.push_back(id);
+        } else {
+            eq.cancel(id);
+            ++cancelled;
+        }
+    }
+
+    EXPECT_EQ(eq.pending(), keep.size());
+    EXPECT_FALSE(eq.empty());
+    EXPECT_EQ(eq.stats().peakLive, eq.stats().live + 1);
+
+    const std::uint64_t ran = eq.drain();
+    EXPECT_EQ(ran, keep.size());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.executed(), ran);
+
+    // Every cancelled id is stale now; cancelling again is a no-op.
+    (void)cancelled;
+    for (EventId id : keep)
+        eq.cancel(id);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunUntilSkipsStaleTopWithoutOvershooting)
+{
+    // A cancelled earlier event must not let runUntil execute a live
+    // later event beyond the horizon.
+    EventQueue eq;
+    int count = 0;
+    const EventId early = eq.schedule(50, [&] { ++count; });
+    eq.schedule(70, [&] { ++count; });
+    eq.cancel(early);
+    eq.runUntil(60);
+    EXPECT_EQ(count, 0);
+    EXPECT_EQ(eq.now(), 60);
+    eq.runUntil(80);
+    EXPECT_EQ(count, 1);
+}
+
+TEST(EventQueueDeathTest, EmptyStdFunctionPanicsAtScheduleTime)
+{
+    EventQueue eq;
+    std::function<void()> empty;
+    EXPECT_DEATH(eq.schedule(10, empty), "null event callback");
 }
 
 TEST(EventQueueDeathTest, SchedulingInThePastPanics)
