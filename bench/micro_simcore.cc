@@ -50,6 +50,18 @@ BM_EventQueueFleetScale(benchmark::State &state)
 BENCHMARK(BM_EventQueueFleetScale);
 
 void
+BM_OpenSystemChurn(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        benchmark::DoNotOptimize(
+            neonbench::openSystemChurnBatch(eq, 1024));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * 1024);
+}
+BENCHMARK(BM_OpenSystemChurn);
+
+void
 BM_DeviceRequestThroughput(benchmark::State &state)
 {
     for (auto _ : state) {

@@ -78,6 +78,58 @@ struct EndToEnd
     std::size_t peakLive = 0;
 };
 
+/** End-to-end serving: open Poisson load over a 4-device DFQ fleet. */
+struct EndToEndServe
+{
+    double simMs = 0.0;
+    double wallS = 0.0;
+    double simMsPerWallS = 0.0;
+    double sessionsPerWallS = 0.0;
+    std::uint64_t sessions = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t events = 0;
+};
+
+EndToEndServe
+endToEndServe()
+{
+    ExperimentConfig cfg;
+    cfg.sched = SchedKind::DisengagedFq;
+    cfg.fleet.devices = 4;
+    cfg.fleet.speedFactors = {1.25, 1.0, 1.0, 0.75};
+    cfg.serve.slotsPerDevice = 2;
+    cfg.serve.useGlobalClock = true;
+    cfg.serve.clockPeriod = msec(10);
+    cfg.serve.migrationLag = msec(10);
+    cfg.measure = sec(2);
+
+    WorkloadSpec w = WorkloadSpec::throttle(usec(430));
+    w.label = "open";
+    const ServeWorkloadSpec spec{w, ArrivalSpec::poisson(80.0, sec(1)),
+                                 LifetimeSpec::fixed(msec(200))};
+
+    EndToEndServe r;
+    const auto t0 = Clock::now();
+    ServeWorld world(cfg, {spec});
+    world.start();
+    world.runFor(cfg.measure);
+    const ServeRunResult res = world.results();
+
+    r.wallS = secondsSince(t0);
+    r.simMs = toMsec(cfg.measure);
+    r.simMsPerWallS = r.simMs / r.wallS;
+    r.sessions = res.departures;
+    r.sessionsPerWallS = static_cast<double>(res.departures) / r.wallS;
+    r.migrations = res.migrations;
+    r.events = world.eq.executed();
+
+    if (res.departures == 0 || res.queuedAtEnd != 0) {
+        std::cerr << "perf_report: serving run did not drain\n";
+        std::exit(2);
+    }
+    return r;
+}
+
 EndToEnd
 endToEndDfq()
 {
@@ -161,8 +213,14 @@ main(int argc, char **argv)
     const CaseResult fleet = timeCase(minS, [](EventQueue &eq) {
         return neonbench::fleetInterleaveBatch(eq, 512);
     });
+    std::cerr << "running open_system_churn...\n";
+    const CaseResult churn_serve = timeCase(minS, [](EventQueue &eq) {
+        return neonbench::openSystemChurnBatch(eq, batchN);
+    });
     std::cerr << "running end_to_end_dfq...\n";
     const EndToEnd e2e = endToEndDfq();
+    std::cerr << "running end_to_end_serve...\n";
+    const EndToEndServe serve = endToEndServe();
 
     std::ofstream os(out);
     if (!os) {
@@ -174,7 +232,8 @@ main(int argc, char **argv)
        << "  \"cases\": {\n";
     emitCase(os, "schedule_run", schedule_run);
     emitCase(os, "schedule_cancel_churn", churn);
-    emitCase(os, "fleet_interleave", fleet, /*last=*/true);
+    emitCase(os, "fleet_interleave", fleet);
+    emitCase(os, "open_system_churn", churn_serve, /*last=*/true);
     os << "  },\n"
        << "  \"end_to_end_dfq\": {\n"
        << "    \"sim_ms\": " << e2e.simMs << ",\n"
@@ -182,6 +241,16 @@ main(int argc, char **argv)
        << "    \"sim_ms_per_wall_s\": " << e2e.simMsPerWallS << ",\n"
        << "    \"events_executed\": " << e2e.events << ",\n"
        << "    \"peak_live_events\": " << e2e.peakLive << "\n"
+       << "  },\n"
+       << "  \"end_to_end_serve\": {\n"
+       << "    \"sim_ms\": " << serve.simMs << ",\n"
+       << "    \"wall_s\": " << serve.wallS << ",\n"
+       << "    \"sim_ms_per_wall_s\": " << serve.simMsPerWallS << ",\n"
+       << "    \"sessions_served\": " << serve.sessions << ",\n"
+       << "    \"sessions_per_wall_s\": " << serve.sessionsPerWallS
+       << ",\n"
+       << "    \"migrations\": " << serve.migrations << ",\n"
+       << "    \"events_executed\": " << serve.events << "\n"
        << "  },\n"
        << "  \"floor_events_per_sec\": " << floor_eps << "\n"
        << "}\n";
@@ -193,13 +262,28 @@ main(int argc, char **argv)
               << " ops/s (" << churn.compactions << " compactions)\n"
               << "fleet_interleave:      " << fleet.itemsPerSec
               << " events/s\n"
+              << "open_system_churn:     " << churn_serve.itemsPerSec
+              << " events/s\n"
               << "end_to_end_dfq:        " << e2e.simMsPerWallS
               << " sim-ms/wall-s\n"
+              << "end_to_end_serve:      " << serve.simMsPerWallS
+              << " sim-ms/wall-s (" << serve.sessions << " sessions, "
+              << serve.migrations << " migrations)\n"
               << "wrote " << out << "\n";
 
+    // The floor guards the raw event core and the serving-layer event
+    // shape alike: both are pure EventQueue workloads, so an
+    // order-of-magnitude regression in either fails the build.
     if (floor_eps > 0.0 && schedule_run.itemsPerSec < floor_eps) {
         std::cerr << "perf_report: schedule_run "
                   << schedule_run.itemsPerSec
+                  << " events/s is below the floor of " << floor_eps
+                  << "\n";
+        return 1;
+    }
+    if (floor_eps > 0.0 && churn_serve.itemsPerSec < floor_eps) {
+        std::cerr << "perf_report: open_system_churn "
+                  << churn_serve.itemsPerSec
                   << " events/s is below the floor of " << floor_eps
                   << "\n";
         return 1;

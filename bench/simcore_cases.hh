@@ -10,8 +10,10 @@
 #define NEON_BENCH_SIMCORE_CASES_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/random.hh"
 
 namespace neonbench
 {
@@ -78,6 +80,80 @@ fleetInterleaveBatch(neon::EventQueue &eq, int fires_per_stream)
         ss[i] = {&eq, neon::Tick(7 + i), fires_per_stream};
         ss[i].arm();
     }
+    return eq.drain();
+}
+
+/**
+ * The serving-layer shape (PR 4): an open system where sessions
+ * arrive with random gaps, hold one of a fixed pool of admission
+ * slots for a random service time, queue when the pool is full, and
+ * release the slot to the queue head on departure. Two events per
+ * session (arrival, departure) plus queue churn — the event-core
+ * footprint of src/serve without the device model. Returns the
+ * number of events executed.
+ */
+inline std::uint64_t
+openSystemChurnBatch(neon::EventQueue &eq, int sessions)
+{
+    struct System
+    {
+        neon::EventQueue *eq = nullptr;
+        neon::Rng rng{0x5eedull};
+        int slots = 8;
+        int live = 0;
+        int remaining = 0;
+        std::uint64_t served = 0;
+        std::vector<int> queue;
+
+        void
+        scheduleArrival()
+        {
+            if (remaining-- <= 0)
+                return;
+            // Mean gap ~350 vs mean service ~1300 over 8 slots:
+            // ~0.6 utilization, transient queueing bursts.
+            const neon::Tick gap =
+                static_cast<neon::Tick>(rng.next() % 700);
+            eq->scheduleIn(gap, [this] {
+                arrive();
+                scheduleArrival();
+            });
+        }
+
+        void
+        arrive()
+        {
+            if (live < slots && queue.empty())
+                admit();
+            else
+                queue.push_back(1);
+        }
+
+        void
+        admit()
+        {
+            ++live;
+            const neon::Tick service =
+                800 + static_cast<neon::Tick>(rng.next() % 1024);
+            eq->scheduleIn(service, [this] { depart(); });
+        }
+
+        void
+        depart()
+        {
+            --live;
+            ++served;
+            if (!queue.empty() && live < slots) {
+                queue.erase(queue.begin());
+                admit();
+            }
+        }
+    };
+
+    System sys;
+    sys.eq = &eq;
+    sys.remaining = sessions;
+    sys.scheduleArrival();
     return eq.drain();
 }
 

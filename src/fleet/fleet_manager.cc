@@ -18,6 +18,8 @@ FleetManager::FleetManager(EventQueue &eq, const FleetConfig &cfg,
     if (cfg.devices == 0)
         panic("fleet: device count must be at least 1");
 
+    liveTasksPerDevice.assign(cfg.devices, 0);
+    liveDemandPerDevice.assign(cfg.devices, 0.0);
     stacks.reserve(cfg.devices);
     for (std::size_t i = 0; i < cfg.devices; ++i) {
         DeviceConfig dcfg = device_template;
@@ -32,9 +34,8 @@ FleetManager::FleetManager(EventQueue &eq, const FleetConfig &cfg,
 }
 
 Task &
-FleetManager::createTask(const PlacementRequest &req)
+FleetManager::emplaceTask(std::size_t device, const PlacementRequest &req)
 {
-    const std::size_t device = policy->place(loadViews(), req);
     if (device >= stacks.size())
         panic("fleet: placement chose device ", device, " of ",
               stacks.size());
@@ -42,15 +43,102 @@ FleetManager::createTask(const PlacementRequest &req)
     auto task =
         std::make_unique<Task>(stacks[device]->kernel, req.label);
     Task &ref = *task;
-    placed.push_back({std::move(task), req, device});
+    placedIndex[&ref] = placed.size();
+    placed.push_back({std::move(task), req, device, /*live=*/true});
     taskRefs.push_back(&ref);
+    ++liveTasksPerDevice[device];
+    liveDemandPerDevice[device] += req.demand;
+    policy->noteTaskPlaced(req, device);
+
+    // Protection kills happen inside the per-device scheduler; surface
+    // them to fleet-level observers (admission control) and keep the
+    // placement policy's live-task bookkeeping honest.
+    ref.onKilled = [this](Process &p) {
+        Task &t = static_cast<Task &>(p);
+        releasePlacement(placedOf(t));
+        if (onTaskKilled)
+            onTaskKilled(t);
+    };
     return ref;
+}
+
+FleetManager::Placed &
+FleetManager::placedOf(const Task &t)
+{
+    auto it = placedIndex.find(&t);
+    if (it == placedIndex.end())
+        panic("fleet: task ", t.name(),
+              " was not placed by this manager");
+    return placed[it->second];
+}
+
+const FleetManager::Placed &
+FleetManager::placedOf(const Task &t) const
+{
+    auto it = placedIndex.find(&t);
+    if (it == placedIndex.end())
+        panic("fleet: task ", t.name(),
+              " was not placed by this manager");
+    return placed[it->second];
+}
+
+void
+FleetManager::releasePlacement(Placed &entry)
+{
+    if (!entry.live)
+        return;
+    entry.live = false;
+    --liveTasksPerDevice[entry.device];
+    liveDemandPerDevice[entry.device] -= entry.req.demand;
+    policy->noteTaskDeparted(entry.req, entry.device);
+}
+
+Task &
+FleetManager::createTask(const PlacementRequest &req)
+{
+    return emplaceTask(policy->place(loadViews(), req), req);
+}
+
+Task &
+FleetManager::createTaskOn(std::size_t device, const PlacementRequest &req)
+{
+    return emplaceTask(device, req);
 }
 
 void
 FleetManager::startTask(Task &t, Co body)
 {
     stacks[deviceOf(t)]->kernel.startTask(t, std::move(body));
+}
+
+void
+FleetManager::retireTask(Task &t)
+{
+    // Killed tasks were torn down (and their slot released) by the
+    // kill path; everything else — Running bodies and bodies that
+    // already co_returned while still holding channels — goes through
+    // the kernel's graceful teardown.
+    if (t.killed())
+        return;
+    Placed &entry = placedOf(t);
+    stacks[entry.device]->kernel.retireTask(t);
+    releasePlacement(entry);
+}
+
+Task &
+FleetManager::migrateTask(Task &t, std::size_t target)
+{
+    if (target >= stacks.size())
+        panic("fleet: migration target ", target, " of ", stacks.size());
+    Placed &entry = placedOf(t);
+    if (entry.device == target)
+        panic("fleet: migrating task ", t.name(), " onto its own device");
+
+    // Copy the request before retiring: retireTask may not invalidate
+    // `entry`, but emplaceTask below grows `placed` and can reallocate.
+    const PlacementRequest req = entry.req;
+    retireTask(t);
+    return emplaceTask(target, req);
 }
 
 void
@@ -63,16 +151,16 @@ FleetManager::start()
 std::size_t
 FleetManager::deviceOf(const Task &t) const
 {
-    for (const Placed &p : placed) {
-        if (p.task.get() == &t)
-            return p.device;
-    }
-    panic("fleet: task ", t.name(), " was not placed by this manager");
+    return placedOf(t).device;
 }
 
 std::vector<DeviceLoadView>
 FleetManager::loadViews() const
 {
+    // O(devices): retired/migrated/killed tasks released their slot in
+    // the per-device aggregates, so sticky capacity (and load
+    // tie-breaks) drain as tenants depart without rescanning the
+    // ever-growing placement log.
     std::vector<DeviceLoadView> views;
     views.reserve(stacks.size());
     for (const auto &s : stacks) {
@@ -80,15 +168,9 @@ FleetManager::loadViews() const
         v.index = s->index;
         v.speedFactor = s->device.config().speedFactor;
         v.busyTime = s->meter.totalBusy();
+        v.assignedTasks = liveTasksPerDevice[s->index];
+        v.assignedDemand = liveDemandPerDevice[s->index];
         views.push_back(v);
-    }
-    // Killed/finished tasks no longer hold a placement slot, so sticky
-    // capacity (and load tie-breaks) drain as tenants depart.
-    for (const Placed &p : placed) {
-        if (!p.task->killed() && !p.task->done()) {
-            ++views[p.device].assignedTasks;
-            views[p.device].assignedDemand += p.req.demand;
-        }
     }
     return views;
 }

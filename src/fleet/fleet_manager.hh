@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -72,14 +73,46 @@ class FleetManager
      */
     Task &createTask(const PlacementRequest &req);
 
+    /**
+     * Create a task on an explicit device, bypassing the placement
+     * policy's choice (serve-layer steering, migration targets). The
+     * policy is still notified so its bookkeeping stays consistent.
+     */
+    Task &createTaskOn(std::size_t device, const PlacementRequest &req);
+
     /** Begin executing a placed task's body on its device's kernel. */
     void startTask(Task &t, Co body);
+
+    /**
+     * Gracefully tear down a live task (open-system departure): close
+     * its channels, end its process without a protection kill, free its
+     * placement slot, and notify the placement policy. The Task object
+     * (and its accumulated usage in the device meter) stays owned by
+     * the manager so departed work remains accounted.
+     */
+    void retireTask(Task &t);
+
+    /**
+     * Migrate a task to @p target: retire the incarnation on its
+     * current device and create a fresh Task (same placement request)
+     * on the target. Returns the new incarnation; the caller restarts
+     * the workload body on it. Models checkpoint/restart migration —
+     * in-flight requests on the old device are aborted.
+     */
+    Task &migrateTask(Task &t, std::size_t target);
 
     /** Start every device's kernel (polling + policy timers). */
     void start();
 
     /** Device index a task was placed on. */
     std::size_t deviceOf(const Task &t) const;
+
+    /**
+     * Observer invoked after a task is killed by per-device protection
+     * (scheduler kill path). The serve layer uses it to free admission
+     * slots; the placement policy has already been notified.
+     */
+    std::function<void(Task &)> onTaskKilled;
 
     /** Snapshot of per-device load, ordered by device index. */
     std::vector<DeviceLoadView> loadViews() const;
@@ -107,12 +140,32 @@ class FleetManager
         std::unique_ptr<Task> task;
         PlacementRequest req;
         std::size_t device;
+
+        /** Holds a placement slot (cleared on retire/migrate/kill). */
+        bool live = true;
     };
+
+    Task &emplaceTask(std::size_t device, const PlacementRequest &req);
+    Placed &placedOf(const Task &t);
+    const Placed &placedOf(const Task &t) const;
+
+    /** Drop a live entry's slot and notify the policy (idempotent). */
+    void releasePlacement(Placed &entry);
 
     std::vector<std::unique_ptr<DeviceStack>> stacks;
     std::unique_ptr<PlacementPolicy> policy;
     std::vector<Placed> placed;
     std::vector<Task *> taskRefs;
+
+    /**
+     * Open-system churn makes `placed` grow for the run's lifetime
+     * (departed tasks stay owned so their usage stays accounted), so
+     * the hot paths must not scan it: lookups go through this index
+     * and load snapshots through the per-device live aggregates.
+     */
+    std::map<const Task *, std::size_t> placedIndex;
+    std::vector<std::size_t> liveTasksPerDevice;
+    std::vector<double> liveDemandPerDevice;
 };
 
 } // namespace neon

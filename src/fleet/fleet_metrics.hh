@@ -81,13 +81,15 @@ fleetDeviceBalance(const std::vector<Tick> &per_device_busy)
     return jainIndex(load);
 }
 
-/** Sentinel for devices whose policy is not DisengagedFairQueueing. */
+/** Sentinel for devices whose policy exports no virtual times. */
 constexpr Tick notDfqVtime = -1;
 
 /**
- * Per-device DFQ system virtual times; entries are notDfqVtime for
- * devices running another policy. A genuine 0 means an idle DFQ
- * device — it counts toward the spread (it IS maximally behind).
+ * Per-device system virtual times, read through the VirtualTimeTap
+ * every fair-queueing policy implements (DisengagedFq, EngagedFq);
+ * entries are notDfqVtime for devices running another policy. A
+ * genuine 0 means an idle fair-queueing device — it counts toward the
+ * spread (it IS maximally behind).
  */
 inline std::vector<Tick>
 fleetDfqVtimes(FleetManager &fleet)
@@ -95,9 +97,9 @@ fleetDfqVtimes(FleetManager &fleet)
     std::vector<Tick> vts;
     vts.reserve(fleet.deviceCount());
     for (std::size_t i = 0; i < fleet.deviceCount(); ++i) {
-        auto *dfq = dynamic_cast<DisengagedFairQueueing *>(
-            fleet.stack(i).sched.get());
-        vts.push_back(dfq ? dfq->systemVtime() : notDfqVtime);
+        auto *tap =
+            dynamic_cast<VirtualTimeTap *>(fleet.stack(i).sched.get());
+        vts.push_back(tap ? tap->tapSystemVtime() : notDfqVtime);
     }
     return vts;
 }

@@ -75,37 +75,69 @@ LeastLoadedPlacement::place(const std::vector<DeviceLoadView> &devices,
     return leastLoadedIndex(devices);
 }
 
+std::string
+StickyPlacement::keyOf(const PlacementRequest &req)
+{
+    return req.affinityKey.empty() ? req.label : req.affinityKey;
+}
+
 std::size_t
 StickyPlacement::place(const std::vector<DeviceLoadView> &devices,
                        const PlacementRequest &req)
 {
-    const std::string key =
-        req.affinityKey.empty() ? req.label : req.affinityKey;
-
-    auto it = affinity.find(key);
+    auto it = affinity.find(keyOf(req));
     if (it != affinity.end()) {
         // Prefer the mapped device unless it is over capacity; spill
         // keeps the mapping so later arrivals return once load drains.
         for (const DeviceLoadView &d : devices) {
-            if (d.index == it->second) {
+            if (d.index == it->second.device) {
                 if (d.assignedTasks < capacity)
                     return d.index;
                 break;
             }
         }
-        return leastLoadedIndex(devices, it->second);
+        return leastLoadedIndex(devices, it->second.device);
     }
 
     const std::size_t chosen = leastLoadedIndex(devices);
-    affinity.emplace(key, chosen);
+    affinity.emplace(keyOf(req), Mapping{chosen, 0});
     return chosen;
+}
+
+void
+StickyPlacement::noteTaskPlaced(const PlacementRequest &req,
+                                std::size_t device)
+{
+    // Forced placements (serve steering, migration) reach here without
+    // a place() call, so create the mapping on demand. The live count
+    // belongs to the key, not the device the task landed on: a spilled
+    // task still pins its tenant's affinity.
+    auto it = affinity.emplace(keyOf(req), Mapping{device, 0}).first;
+    ++it->second.liveTasks;
+}
+
+void
+StickyPlacement::noteTaskDeparted(const PlacementRequest &req,
+                                  std::size_t device)
+{
+    (void)device;
+    auto it = affinity.find(keyOf(req));
+    if (it == affinity.end())
+        return;
+    if (it->second.liveTasks > 0)
+        --it->second.liveTasks;
+    // Last live task gone: evict so a returning tenant re-places
+    // against current load instead of a dead mapping.
+    if (it->second.liveTasks == 0)
+        affinity.erase(it);
 }
 
 int
 StickyPlacement::preferredOf(const std::string &key) const
 {
     auto it = affinity.find(key);
-    return it == affinity.end() ? -1 : static_cast<int>(it->second);
+    return it == affinity.end() ? -1
+                                : static_cast<int>(it->second.device);
 }
 
 std::size_t

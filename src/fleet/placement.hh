@@ -68,10 +68,35 @@ class PlacementPolicy
 
     /**
      * Choose a device for @p req given current loads. @p devices is
-     * never empty and is ordered by device index.
+     * never empty and is ordered by device index. Pure routing: the
+     * fleet reports the outcome through noteTaskPlaced (which also
+     * covers forced placements that bypass place(), e.g. serve-layer
+     * steering and migration).
      */
     virtual std::size_t place(const std::vector<DeviceLoadView> &devices,
                               const PlacementRequest &req) = 0;
+
+    /** A task from @p req now lives on @p device (any placement path). */
+    virtual void
+    noteTaskPlaced(const PlacementRequest &req, std::size_t device)
+    {
+        (void)req;
+        (void)device;
+    }
+
+    /**
+     * A task placed from @p req departed (retired, migrated away, or
+     * killed). Policies drop per-task bookkeeping here — StickyPlacement
+     * evicts an affinity key once its last live task is gone, so a
+     * returning tenant re-places against current load instead of a dead
+     * mapping.
+     */
+    virtual void
+    noteTaskDeparted(const PlacementRequest &req, std::size_t device)
+    {
+        (void)req;
+        (void)device;
+    }
 };
 
 /** Strict rotation, ignoring load. */
@@ -105,12 +130,25 @@ class StickyPlacement : public PlacementPolicy
     std::size_t place(const std::vector<DeviceLoadView> &devices,
                       const PlacementRequest &req) override;
 
+    void noteTaskPlaced(const PlacementRequest &req,
+                        std::size_t device) override;
+    void noteTaskDeparted(const PlacementRequest &req,
+                          std::size_t device) override;
+
     /** Preferred device of @p key; -1 when unmapped (tests). */
     int preferredOf(const std::string &key) const;
 
   private:
+    struct Mapping
+    {
+        std::size_t device = 0;
+        std::size_t liveTasks = 0; ///< live tasks sharing the key
+    };
+
+    static std::string keyOf(const PlacementRequest &req);
+
     std::size_t capacity;
-    std::map<std::string, std::size_t> affinity;
+    std::map<std::string, Mapping> affinity;
 };
 
 /** Normalized-load placement for heterogeneous fleets (Gavel flavour). */

@@ -53,9 +53,17 @@ WorkloadSpec::throttle(Tick request_size, double sleep_ratio)
     s.kind = Kind::Throttle;
     s.throttleParams.requestSize = request_size;
     s.throttleParams.sleepRatio = sleep_ratio;
-    s.label = "Throttle(" + Table::num(toUsec(request_size), 0) + "us";
-    if (sleep_ratio > 0.0)
-        s.label += "," + Table::num(100.0 * sleep_ratio, 0) + "%off";
+    // Built with += (not operator+ chains): GCC 12's inliner emits
+    // false-positive -Wrestrict warnings for temporary-concat chains
+    // at some call sites.
+    s.label = "Throttle(";
+    s.label += Table::num(toUsec(request_size), 0);
+    s.label += "us";
+    if (sleep_ratio > 0.0) {
+        s.label += ",";
+        s.label += Table::num(100.0 * sleep_ratio, 0);
+        s.label += "%off";
+    }
     s.label += ")";
     return s;
 }
@@ -114,10 +122,6 @@ makeScheduler(const ExperimentConfig &cfg, KernelModule &kernel,
     return sched;
 }
 
-namespace
-{
-
-/** Instantiate a workload body for a task (shared by both worlds). */
 Co
 makeWorkloadBody(Task &t, const WorkloadSpec &spec, std::uint64_t seed)
 {
@@ -132,6 +136,9 @@ makeWorkloadBody(Task &t, const WorkloadSpec &spec, std::uint64_t seed)
     }
     panic("unknown workload kind");
 }
+
+namespace
+{
 
 /** Deterministic per-task seed derivation (spawn order @p i). */
 std::uint64_t

@@ -24,8 +24,10 @@
 #include "sched/disengaged_fq.hh"
 #include "sched/engaged_fq.hh"
 #include "sched/timeslice.hh"
+#include "serve/serve_config.hh"
 #include "sim/event_queue.hh"
 #include "workload/app_profile.hh"
+#include "workload/arrival.hh"
 #include "workload/throttle.hh"
 
 namespace neon
@@ -67,6 +69,13 @@ struct ExperimentConfig
      * instance of the policy selected by `sched`.
      */
     FleetConfig fleet;
+
+    /**
+     * Open-system serving layer (ServeWorld/ServeRunner only):
+     * admission policy, per-device session slots, global virtual
+     * clock, and migration thresholds.
+     */
+    ServeConfig serve;
 
     Tick warmup = msec(400);
     Tick measure = sec(4);
@@ -199,6 +208,13 @@ class World
 std::unique_ptr<Scheduler>
 makeScheduler(const ExperimentConfig &cfg, KernelModule &kernel,
               const UsageMeter *vendor_counters);
+
+/**
+ * Instantiate @p spec's workload body for @p t. Shared by the closed
+ * worlds (spawn at t0) and the serving layer (bodies restarted per
+ * session incarnation).
+ */
+Co makeWorkloadBody(Task &t, const WorkloadSpec &spec, std::uint64_t seed);
 
 /** Per-task outcome of a fleet run. */
 struct FleetTaskResult

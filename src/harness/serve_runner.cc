@@ -1,0 +1,204 @@
+#include "harness/serve_runner.hh"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "fleet/fleet_metrics.hh"
+#include "sim/logging.hh"
+
+namespace neon
+{
+
+namespace
+{
+
+/** Translate harness specs into serve-layer workload classes. */
+std::vector<ServeClass>
+classesFrom(const std::vector<ServeWorkloadSpec> &specs)
+{
+    std::vector<ServeClass> classes;
+    classes.reserve(specs.size());
+    for (const ServeWorkloadSpec &s : specs) {
+        ServeClass c;
+        c.label = s.workload.label;
+        c.tenant = s.tenant.empty() ? s.workload.label : s.tenant;
+        c.arrivals = s.arrivals;
+        c.lifetime = s.lifetime;
+        c.affinityKey = s.workload.affinityKey;
+        c.demand = s.workload.demand;
+        c.makeBody = [w = s.workload](Task &t, std::uint64_t seed) {
+            return makeWorkloadBody(t, w, seed);
+        };
+        classes.push_back(std::move(c));
+    }
+    return classes;
+}
+
+} // namespace
+
+std::size_t
+resolveSlotsPerDevice(const ExperimentConfig &cfg)
+{
+    if (cfg.serve.slotsPerDevice > 0)
+        return cfg.serve.slotsPerDevice;
+    const std::size_t per_task =
+        cfg.channelPolicy.perTaskLimit > 0 ? cfg.channelPolicy.perTaskLimit
+                                           : 1;
+    const std::size_t derived = cfg.device.maxChannels / per_task;
+    return derived > 0 ? derived : 1;
+}
+
+const ServeSessionResult &
+ServeRunResult::byLabel(const std::string &label) const
+{
+    for (const auto &s : sessions) {
+        if (s.label == label)
+            return s;
+    }
+    panic("no session labelled ", label, " in serve results");
+}
+
+ServeWorld::ServeWorld(const ExperimentConfig &cfg,
+                       const std::vector<ServeWorkloadSpec> &specs)
+    : fleet(eq, cfg.fleet, cfg.device, cfg.costs, cfg.channelPolicy,
+            cfg.pollPeriod,
+            [&cfg](KernelModule &kernel, const UsageMeter &meter,
+                   std::size_t) {
+                return makeScheduler(cfg, kernel, &meter);
+            }),
+      engine(eq, fleet, cfg.serve, classesFrom(specs),
+             resolveSlotsPerDevice(cfg), cfg.seed),
+      cfg(cfg)
+{
+}
+
+ServeWorld::~ServeWorld() = default;
+
+void
+ServeWorld::start()
+{
+    fleet.start();
+    engine.start();
+}
+
+ServeRunResult
+ServeWorld::results()
+{
+    ServeRunResult r;
+    r.elapsed = eq.now();
+    r.arrivals = engine.arrivalsSeen();
+    r.departures = engine.departures();
+    r.kills = engine.killedSessions();
+    r.migrations = engine.migrationCount();
+    r.peakLiveSessions = engine.peakLiveSessions();
+    r.peakQueueDepth = engine.admissionState().peakPending();
+    r.queuedAtEnd = engine.admissionState().pendingCount();
+    r.capacity = engine.admissionState().capacity();
+    r.deviceBusy = fleet.perDeviceBusy();
+    r.deviceBalance = fleetDeviceBalance(r.deviceBusy);
+    r.vtimeSpreadMs = fleetVtimeSpreadMs(fleet);
+
+    std::vector<double> queue_ms, sojourn_ms, turnaround_ms, rates;
+    for (const SessionRecord &s : engine.sessionResults()) {
+        ServeSessionResult out;
+        out.label = s.label;
+        out.tenant = s.tenant;
+        out.cls = s.cls;
+        out.arrived = s.arrived;
+        out.admitted = s.admitted;
+        out.departed = s.departed;
+        out.killed = s.killed;
+        out.devices = s.devices;
+        out.migrations = s.migrations;
+        out.busy = s.busy;
+        out.requests = s.requests;
+        out.rounds = s.rounds;
+        out.meanRoundUs = s.rounds > 0
+            ? s.roundUsSum / static_cast<double>(s.rounds)
+            : 0.0;
+        r.requests += s.requests;
+
+        if (out.wasAdmitted()) {
+            queue_ms.push_back(toMsec(s.admitted - s.arrived));
+
+            const Tick end = out.hasDeparted() ? s.departed : eq.now();
+            const Tick residency = end - s.admitted;
+            if (!s.killed && residency > 0) {
+                // Speed-normalized service rate: device time weighted
+                // by the speed of the device that delivered it. With
+                // migration an incarnation's device varies, so weight
+                // by the session's busy-weighted mean speed — here
+                // approximated by the last device's speed when the
+                // per-incarnation split is not retained.
+                double speed = 1.0;
+                if (!s.devices.empty()) {
+                    speed = fleet.stack(s.devices.back())
+                                .device.config()
+                                .speedFactor;
+                    if (speed <= 0.0)
+                        speed = 1.0;
+                }
+                rates.push_back(static_cast<double>(s.busy) * speed /
+                                static_cast<double>(residency));
+            }
+        }
+        if (out.hasDeparted()) {
+            sojourn_ms.push_back(toMsec(s.departed - s.admitted));
+            turnaround_ms.push_back(toMsec(s.departed - s.arrived));
+        }
+        r.sessions.push_back(std::move(out));
+    }
+
+    r.throughputRps = fleetThroughputRps(r.requests, r.elapsed);
+    r.sessionsPerSec = r.elapsed > 0
+        ? static_cast<double>(r.departures) / toSec(r.elapsed)
+        : 0.0;
+    r.serviceFairness = jainIndex(rates);
+    r.slo.queueDelayMs = summarizeLatencies(std::move(queue_ms));
+    r.slo.sojournMs = summarizeLatencies(std::move(sojourn_ms));
+    r.slo.turnaroundMs = summarizeLatencies(std::move(turnaround_ms));
+    return r;
+}
+
+ServeRunResult
+ServeRunner::run(const std::vector<ServeWorkloadSpec> &specs,
+                 bool with_slowdowns) const
+{
+    ServeWorld world(cfg, specs);
+    world.start();
+    world.runFor(cfg.measure);
+    ServeRunResult r = world.results();
+
+    if (with_slowdowns) {
+        // Per-class isolated baseline: the workload alone on one
+        // template-speed device under direct access (the paper's
+        // normalization basis), reused for every session of the class.
+        ExperimentConfig solo_cfg = cfg;
+        solo_cfg.sched = SchedKind::Direct;
+        solo_cfg.fleet = FleetConfig{};
+        solo_cfg.warmup = msec(100);
+        solo_cfg.measure = msec(500);
+        ExperimentRunner solo(solo_cfg);
+
+        std::map<std::size_t, double> solo_round;
+        std::vector<double> slowdowns;
+        for (const ServeSessionResult &s : r.sessions) {
+            if (!s.hasDeparted() || s.killed || s.rounds == 0)
+                continue;
+            auto it = solo_round.find(s.cls);
+            if (it == solo_round.end()) {
+                it = solo_round
+                         .emplace(s.cls,
+                                  solo.soloRoundUs(specs[s.cls].workload))
+                         .first;
+            }
+            if (it->second > 0.0)
+                slowdowns.push_back(s.meanRoundUs / it->second);
+        }
+        r.slo.slowdown = summarizeLatencies(std::move(slowdowns));
+    }
+    return r;
+}
+
+} // namespace neon

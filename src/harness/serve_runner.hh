@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Harness entry points for open-system serving runs.
+ *
+ * ServeWorld assembles a fleet (cfg.fleet) plus a ServeEngine
+ * (cfg.serve) fed by ServeWorkloadSpecs — each a workload template
+ * with an arrival process and a lifetime distribution. ServeRunner
+ * drives a whole run and reports SLO percentiles (queueing delay,
+ * sojourn, slowdown vs. the class's isolated baseline) alongside
+ * fleet-level fairness and throughput.
+ *
+ * Unlike the closed runners there is no warmup/measurement split: an
+ * open run is measured whole, from the first arrival to the horizon,
+ * because the transient (queue build-up and drain) is the object of
+ * study rather than noise.
+ */
+
+#ifndef NEON_HARNESS_SERVE_RUNNER_HH
+#define NEON_HARNESS_SERVE_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "metrics/slo.hh"
+#include "serve/serve_engine.hh"
+
+namespace neon
+{
+
+/** One serving workload class: template + arrivals + lifetimes. */
+struct ServeWorkloadSpec
+{
+    WorkloadSpec workload;
+    ArrivalSpec arrivals;
+    LifetimeSpec lifetime;
+
+    /** Fair-share principal; defaults to the workload label. */
+    std::string tenant;
+
+    ServeWorkloadSpec() = default;
+    ServeWorkloadSpec(WorkloadSpec w, ArrivalSpec a, LifetimeSpec l,
+                      std::string tenant = "")
+        : workload(std::move(w)), arrivals(std::move(a)), lifetime(l),
+          tenant(std::move(tenant))
+    {
+    }
+};
+
+/** Outcome of one session (serving analogue of FleetTaskResult). */
+struct ServeSessionResult
+{
+    std::string label;
+    std::string tenant;
+    std::size_t cls = 0; ///< index into the spec vector
+
+    Tick arrived = 0;
+    Tick admitted = -1; ///< -1 = still queued at the horizon
+    Tick departed = -1; ///< -1 = still live at the horizon
+    bool killed = false;
+
+    std::vector<std::size_t> devices; ///< one per incarnation
+    int migrations = 0;
+
+    Tick busy = 0;              ///< ground-truth device time, all incarnations
+    std::uint64_t requests = 0; ///< completed requests, all incarnations
+    double meanRoundUs = 0.0;
+    std::uint64_t rounds = 0;
+
+    bool wasAdmitted() const { return admitted >= 0; }
+    bool hasDeparted() const { return departed >= 0; }
+};
+
+/** Whole-run outcome of a serving experiment. */
+struct ServeRunResult
+{
+    std::vector<ServeSessionResult> sessions;
+
+    std::uint64_t arrivals = 0;
+    std::uint64_t departures = 0;
+    std::uint64_t kills = 0;
+    std::uint64_t migrations = 0;
+    std::size_t peakLiveSessions = 0; ///< in-system (queued + placed)
+    std::size_t peakQueueDepth = 0;
+    std::size_t queuedAtEnd = 0;
+    std::size_t capacity = 0; ///< admission slots fleet-wide
+
+    Tick elapsed = 0;
+    std::vector<Tick> deviceBusy;
+    std::uint64_t requests = 0;
+    double throughputRps = 0.0;
+    double sessionsPerSec = 0.0; ///< departures per second
+
+    /**
+     * Jain index over per-session speed-normalized service rates
+     * (busy x device speed / residency), admitted un-killed sessions.
+     * The serving analogue of FleetFairnessReport::taskFairness.
+     */
+    double serviceFairness = 1.0;
+
+    /** Max-min spread of per-device normalized vtimes at the horizon. */
+    double vtimeSpreadMs = 0.0;
+
+    /** Jain index over per-device busy time. */
+    double deviceBalance = 1.0;
+
+    SloReport slo;
+
+    const ServeSessionResult &byLabel(const std::string &label) const;
+};
+
+/** An assembled open-system world (tests poke at internals). */
+class ServeWorld
+{
+  public:
+    ServeWorld(const ExperimentConfig &cfg,
+               const std::vector<ServeWorkloadSpec> &specs);
+    ~ServeWorld();
+
+    ServeWorld(const ServeWorld &) = delete;
+    ServeWorld &operator=(const ServeWorld &) = delete;
+
+    /** Start fleet kernels, arrivals, and the global clock. */
+    void start();
+
+    void runFor(Tick d) { eq.runFor(d); }
+
+    /** Harvest the whole run (slowdown SLO left to ServeRunner). */
+    ServeRunResult results();
+
+    EventQueue eq;
+    FleetManager fleet;
+    ServeEngine engine;
+
+  private:
+    ExperimentConfig cfg;
+};
+
+/**
+ * Resolve the per-device session-slot bound: the configured value, or
+ * the Section 6.3 user bound (channel pool / per-task channel limit).
+ */
+std::size_t resolveSlotsPerDevice(const ExperimentConfig &cfg);
+
+/** Convenience driver for serving runs (mirrors FleetRunner). */
+class ServeRunner
+{
+  public:
+    explicit ServeRunner(ExperimentConfig cfg) : cfg(std::move(cfg)) {}
+
+    /**
+     * Run the serving classes for cfg.measure simulated time (from
+     * t=0; no warmup) and report. @p with_slowdowns adds the per-class
+     * isolated-baseline runs needed for the slowdown SLO.
+     */
+    ServeRunResult run(const std::vector<ServeWorkloadSpec> &specs,
+                       bool with_slowdowns = true) const;
+
+    const ExperimentConfig &config() const { return cfg; }
+    ExperimentConfig &config() { return cfg; }
+
+  private:
+    ExperimentConfig cfg;
+};
+
+} // namespace neon
+
+#endif // NEON_HARNESS_SERVE_RUNNER_HH

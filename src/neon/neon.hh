@@ -26,9 +26,11 @@
 #include "gpu/device.hh"
 #include "gpu/usage_meter.hh"
 #include "harness/experiment.hh"
+#include "harness/serve_runner.hh"
 #include "metrics/efficiency.hh"
 #include "metrics/reporter.hh"
 #include "metrics/request_trace.hh"
+#include "metrics/slo.hh"
 #include "os/kernel.hh"
 #include "os/scheduler.hh"
 #include "os/task.hh"
@@ -37,6 +39,11 @@
 #include "sched/disengaged_timeslice.hh"
 #include "sched/engaged_fq.hh"
 #include "sched/timeslice.hh"
+#include "sched/vtime_tap.hh"
+#include "serve/admission.hh"
+#include "serve/global_clock.hh"
+#include "serve/serve_config.hh"
+#include "serve/serve_engine.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
@@ -44,6 +51,7 @@
 #include "sim/types.hh"
 #include "workload/adversary.hh"
 #include "workload/app_profile.hh"
+#include "workload/arrival.hh"
 #include "workload/synthetic_app.hh"
 #include "workload/throttle.hh"
 #include "workload/trace.hh"

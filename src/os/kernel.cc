@@ -91,6 +91,31 @@ KernelModule::killTask(Task &t, const std::string &reason)
         sched->onTaskExited(t);
 }
 
+void
+KernelModule::retireTask(Task &t)
+{
+    // Killed tasks were already torn down by killTask. A task whose
+    // body ran to completion (Done) may still own channels — bodies
+    // can co_return early on a failed open while holding earlier
+    // opens — so retirement must reclaim those too, not just stop a
+    // Running body.
+    if (t.killed())
+        return;
+
+    parked.erase(t.pid());
+    t.retire(); // no-op when the body already finished
+
+    // closeChannel aborts only channels with in-flight work; an idle
+    // departing task pays no abort cleanup.
+    std::vector<Channel *> owned = t.channels();
+    for (Channel *c : owned)
+        closeChannel(t, c);
+    t.defaultContext = nullptr;
+
+    if (sched)
+        sched->onTaskExited(t);
+}
+
 Task *
 KernelModule::findTask(int pid) const
 {

@@ -87,6 +87,15 @@ class KernelModule
      */
     void killTask(Task &t, const std::string &reason);
 
+    /**
+     * Retire a task gracefully (open-system departure or migration):
+     * close its channels — idle channels close cleanly, busy ones are
+     * aborted — reclaim kernel/device resources, and end the process
+     * without counting a protection kill. Like killTask, must not be
+     * called from inside the task's own body.
+     */
+    void retireTask(Task &t);
+
     const std::vector<Task *> &tasks() const { return taskList; }
 
     /** Look up a live task by pid; nullptr if gone. */

@@ -29,6 +29,7 @@
 #include "gpu/usage_meter.hh"
 #include "os/kernel.hh"
 #include "os/scheduler.hh"
+#include "sched/vtime_tap.hh"
 
 namespace neon
 {
@@ -86,7 +87,7 @@ struct DfqConfig
 };
 
 /** The disengaged fair-queueing policy. */
-class DisengagedFairQueueing : public Scheduler
+class DisengagedFairQueueing : public Scheduler, public VirtualTimeTap
 {
   public:
     enum class Phase { Idle, FreeRun, Draining, Sampling };
@@ -107,6 +108,10 @@ class DisengagedFairQueueing : public Scheduler
     Phase phase() const { return curPhase; }
     Tick vtimeOf(int pid) const;
     Tick systemVtime() const { return sysVtime; }
+
+    // VirtualTimeTap (cross-device aggregation).
+    Tick tapSystemVtime() const override { return sysVtime; }
+    Tick tapTaskVtime(int pid) const override { return vtimeOf(pid); }
     bool isDenied(int pid) const;
     Tick currentFreeRun() const { return freeRunLen; }
     Tick estSizeOf(int pid) const;

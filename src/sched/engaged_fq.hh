@@ -21,6 +21,7 @@
 
 #include "os/kernel.hh"
 #include "os/scheduler.hh"
+#include "sched/vtime_tap.hh"
 
 namespace neon
 {
@@ -48,7 +49,7 @@ struct EngagedFqConfig
 };
 
 /** Classic SFQ with per-request interception. */
-class EngagedFairQueueing : public Scheduler
+class EngagedFairQueueing : public Scheduler, public VirtualTimeTap
 {
   public:
     EngagedFairQueueing(KernelModule &kernel,
@@ -65,6 +66,10 @@ class EngagedFairQueueing : public Scheduler
     Tick systemVtime() const { return sysV; }
     Tick finishTagOf(int pid) const;
     Tick estimateOf(int pid) const;
+
+    // VirtualTimeTap (cross-device aggregation).
+    Tick tapSystemVtime() const override { return sysV; }
+    Tick tapTaskVtime(int pid) const override { return finishTagOf(pid); }
 
   private:
     struct TaskState

@@ -1,0 +1,104 @@
+#include "serve/admission.hh"
+
+#include "sim/logging.hh"
+
+namespace neon
+{
+
+std::string
+admissionKindName(AdmissionKind k)
+{
+    switch (k) {
+      case AdmissionKind::Fifo:
+        return "fifo";
+      case AdmissionKind::ShortestDemand:
+        return "shortest-demand";
+      case AdmissionKind::FairShare:
+        return "fair-share";
+    }
+    return "?";
+}
+
+AdmissionController::AdmissionController(AdmissionKind kind,
+                                         std::size_t capacity)
+    : kind(kind), slots(capacity)
+{
+    if (capacity == 0)
+        panic("admission: capacity must be at least 1");
+}
+
+bool
+AdmissionController::arrive(const QueuedRequest &req)
+{
+    ++nArrivals;
+
+    // Even with a free slot, a nonempty queue means someone is ahead;
+    // jumping it would undermine the release policy's ordering.
+    if (liveCount < slots && pending.empty()) {
+        noteLive(req.tenant);
+        ++nDirect;
+        return true;
+    }
+
+    pending.push_back(req);
+    if (pending.size() > peakQueue)
+        peakQueue = pending.size();
+    return false;
+}
+
+std::optional<QueuedRequest>
+AdmissionController::depart(const std::string &tenant)
+{
+    if (liveCount == 0)
+        panic("admission: departure with no live sessions");
+    --liveCount;
+    auto it = liveByTenant.find(tenant);
+    if (it != liveByTenant.end() && it->second > 0) {
+        if (--it->second == 0)
+            liveByTenant.erase(it);
+    }
+
+    if (pending.empty() || liveCount >= slots)
+        return std::nullopt;
+
+    const std::size_t i = pickNext();
+    QueuedRequest out = pending[i];
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+    noteLive(out.tenant);
+    ++nReleased;
+    return out;
+}
+
+std::size_t
+AdmissionController::liveOf(const std::string &tenant) const
+{
+    auto it = liveByTenant.find(tenant);
+    return it == liveByTenant.end() ? 0 : it->second;
+}
+
+std::size_t
+AdmissionController::pickNext() const
+{
+    std::size_t best = 0;
+    switch (kind) {
+      case AdmissionKind::Fifo:
+        break; // pending is kept in arrival order
+
+      case AdmissionKind::ShortestDemand:
+        for (std::size_t i = 1; i < pending.size(); ++i) {
+            if (pending[i].demand < pending[best].demand)
+                best = i;
+        }
+        break;
+
+      case AdmissionKind::FairShare:
+        for (std::size_t i = 1; i < pending.size(); ++i) {
+            if (liveOf(pending[i].tenant) < liveOf(pending[best].tenant))
+                best = i;
+        }
+        break;
+    }
+    return best;
+}
+
+} // namespace neon

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fleet admission control: a bounded pool of live-session slots and a
+ * policy-ordered queue of placement requests waiting for one.
+ *
+ * The controller is pure bookkeeping — it never touches the fleet or
+ * the event queue. The ServeEngine asks it on every arrival (admit now
+ * or queue?) and on every departure (which queued request, if any,
+ * takes the freed slot?), so the policies stay unit-testable with
+ * hand-built sequences.
+ */
+
+#ifndef NEON_SERVE_ADMISSION_HH
+#define NEON_SERVE_ADMISSION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/serve_config.hh"
+#include "sim/types.hh"
+
+namespace neon
+{
+
+/** One queued admission request. */
+struct QueuedRequest
+{
+    std::uint64_t session = 0; ///< serve-layer session id
+    std::string tenant;        ///< fair-share principal
+    double demand = 1.0;       ///< expected-demand hint
+    Tick enqueued = 0;         ///< arrival time (FIFO order basis)
+};
+
+/** Slot-capacity admission control with pluggable release order. */
+class AdmissionController
+{
+  public:
+    AdmissionController(AdmissionKind kind, std::size_t capacity);
+
+    /**
+     * A session arrived. Returns true if it was admitted immediately
+     * (a slot was free and nothing was queued ahead of it); otherwise
+     * the request is queued and false is returned.
+     */
+    bool arrive(const QueuedRequest &req);
+
+    /**
+     * A live session departed (retirement or kill): its slot is freed
+     * and, if requests are queued, the policy picks one to admit.
+     * Returns the released request, already accounted as live.
+     */
+    std::optional<QueuedRequest> depart(const std::string &tenant);
+
+    std::size_t capacity() const { return slots; }
+    std::size_t live() const { return liveCount; }
+    std::size_t pendingCount() const { return pending.size(); }
+    std::size_t peakPending() const { return peakQueue; }
+    std::uint64_t arrivals() const { return nArrivals; }
+    std::uint64_t admittedDirect() const { return nDirect; }
+    std::uint64_t admittedFromQueue() const { return nReleased; }
+
+    /** Live sessions of @p tenant (fair-share bookkeeping). */
+    std::size_t liveOf(const std::string &tenant) const;
+
+    /** Queued requests in arrival order (tests/metrics). */
+    const std::vector<QueuedRequest> &queued() const { return pending; }
+
+  private:
+    std::size_t pickNext() const; ///< index into pending, per policy
+
+    void
+    noteLive(const std::string &tenant)
+    {
+        ++liveCount;
+        ++liveByTenant[tenant];
+    }
+
+    AdmissionKind kind;
+    std::size_t slots;
+    std::size_t liveCount = 0;
+    std::size_t peakQueue = 0;
+    std::uint64_t nArrivals = 0;
+    std::uint64_t nDirect = 0;
+    std::uint64_t nReleased = 0;
+
+    std::vector<QueuedRequest> pending; ///< arrival order
+    std::map<std::string, std::size_t> liveByTenant;
+};
+
+} // namespace neon
+
+#endif // NEON_SERVE_ADMISSION_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Configuration for the open-system serving layer (src/serve).
+ *
+ * The serving layer turns the closed, spawn-everything-at-t0 harness
+ * into an open system: sessions arrive by a stochastic or traced
+ * process, queue in an AdmissionController while the fleet is at
+ * channel capacity, are placed (optionally steered by the
+ * GlobalVirtualClock), run for a finite lifetime, may migrate between
+ * devices, and depart.
+ */
+
+#ifndef NEON_SERVE_SERVE_CONFIG_HH
+#define NEON_SERVE_SERVE_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace neon
+{
+
+/** Order in which queued placement requests are released. */
+enum class AdmissionKind
+{
+    /** Arrival order. */
+    Fifo,
+
+    /**
+     * Smallest expected-demand hint first (shortest-expected-demand;
+     * ties broken by arrival order). Cuts mean queueing delay at the
+     * cost of potentially delaying heavy tenants.
+     */
+    ShortestDemand,
+
+    /**
+     * The pending request whose tenant currently holds the fewest live
+     * sessions goes first (max-min fair share across tenants; ties
+     * broken by arrival order).
+     */
+    FairShare,
+};
+
+/** Display name of an admission policy. */
+std::string admissionKindName(AdmissionKind k);
+
+/** Serving-layer configuration. */
+struct ServeConfig
+{
+    /** Queued-request release order. */
+    AdmissionKind admission = AdmissionKind::Fifo;
+
+    /**
+     * Live-session capacity per device ("channel slots"). The fleet's
+     * admission capacity is devices x slotsPerDevice. 0 derives the
+     * slot count from the device's channel pool and the protection
+     * policy's per-task limit (maxChannels / perTaskLimit), mirroring
+     * the Section 6.3 user bound.
+     */
+    std::size_t slotsPerDevice = 0;
+
+    /**
+     * Aggregate per-device fair-queueing virtual times into a global
+     * cross-device clock that steers placement toward the most-lagging
+     * device and triggers migration. Off = admitted sessions go
+     * through the fleet's placement policy unchanged.
+     */
+    bool useGlobalClock = false;
+
+    /** Global-clock sampling/steering period. */
+    Tick clockPeriod = msec(20);
+
+    /**
+     * Migrate a session off a device once the device's speed-normalized
+     * virtual time lags the fleet's most-advanced device by more than
+     * this. 0 disables migration.
+     */
+    Tick migrationLag = msec(50);
+
+    /** Only migrate off devices with at least this many live sessions. */
+    std::size_t migrationMinTasks = 2;
+
+    /** Ceiling on total migrations (0 = unlimited); stability valve. */
+    std::uint64_t migrationBudget = 0;
+};
+
+} // namespace neon
+
+#endif // NEON_SERVE_SERVE_CONFIG_HH

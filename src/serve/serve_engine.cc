@@ -1,0 +1,294 @@
+#include "serve/serve_engine.hh"
+
+#include <utility>
+
+#include "sched/vtime_tap.hh"
+#include "sim/logging.hh"
+
+namespace neon
+{
+
+ServeEngine::ServeEngine(EventQueue &eq, FleetManager &fleet,
+                         const ServeConfig &cfg,
+                         std::vector<ServeClass> classes,
+                         std::size_t slots_per_device, std::uint64_t seed)
+    : eq(eq), fleet(fleet), cfg(cfg), classes(std::move(classes)),
+      slots(slots_per_device), seed(seed),
+      adm(cfg.admission, slots_per_device * fleet.deviceCount()),
+      clock(fleet, slots_per_device),
+      lifetimeRng(seed ^ 0x5e621e4a6c1full)
+{
+    if (this->classes.empty())
+        panic("serve: at least one workload class is required");
+    if (slots == 0)
+        panic("serve: slotsPerDevice must be at least 1");
+
+    Rng arrivalsRoot(seed ^ 0x2545f4914f6cdd1dull);
+    arrivalProcs.reserve(this->classes.size());
+    for (const ServeClass &c : this->classes) {
+        if (!c.makeBody)
+            panic("serve: class ", c.label, " has no body factory");
+        arrivalProcs.emplace_back(c.arrivals, arrivalsRoot.fork());
+    }
+
+    // Protection kills end a session from below the serve layer;
+    // finish the lifecycle bookkeeping and free the admission slot.
+    fleet.onTaskKilled = [this](Task &t) {
+        auto it = byTask.find(&t);
+        if (it == byTask.end())
+            return;
+        const std::uint64_t sid = it->second;
+        // Minimal work here: this hook runs inside the kill path, so
+        // releasing the slot (which may place and start a queued
+        // session) is deferred to a fresh event.
+        this->eq.scheduleIn(0, [this, sid] { finalizeKill(sid); });
+    };
+}
+
+void
+ServeEngine::start()
+{
+    for (std::size_t c = 0; c < classes.size(); ++c)
+        scheduleNextArrival(c);
+    if (cfg.useGlobalClock && cfg.clockPeriod > 0) {
+        eq.scheduleIn(cfg.clockPeriod, [this] { onClockTick(); });
+    }
+}
+
+void
+ServeEngine::scheduleNextArrival(std::size_t cls)
+{
+    Tick when = 0;
+    if (!arrivalProcs[cls].next(when))
+        return; // class exhausted (trace consumed or past `until`)
+    if (when < eq.now())
+        when = eq.now(); // defensive: never schedule into the past
+    eq.schedule(when, [this, cls] { onArrival(cls); });
+}
+
+void
+ServeEngine::onArrival(std::size_t cls)
+{
+    const ServeClass &c = classes[cls];
+    const std::uint64_t sid = sessions.size();
+
+    auto s = std::make_unique<SessionRecord>();
+    s->id = sid;
+    s->cls = cls;
+    s->label = c.label + "#" + std::to_string(nArrivals);
+    s->tenant = c.tenant.empty() ? c.label : c.tenant;
+    s->arrived = eq.now();
+    sessions.push_back(std::move(s));
+
+    ++nArrivals;
+    ++nLive;
+    if (nLive > peakLive)
+        peakLive = nLive;
+
+    QueuedRequest qr;
+    qr.session = sid;
+    qr.tenant = sessions[sid]->tenant;
+    qr.demand = c.demand;
+    qr.enqueued = eq.now();
+    if (adm.arrive(qr))
+        admitSession(sid);
+
+    scheduleNextArrival(cls);
+}
+
+void
+ServeEngine::admitSession(std::uint64_t sid)
+{
+    SessionRecord &s = *sessions[sid];
+    const ServeClass &c = classes[s.cls];
+    s.admitted = eq.now();
+
+    PlacementRequest req;
+    req.label = s.label;
+    req.affinityKey = c.affinityKey;
+    req.demand = c.demand;
+
+    // Steered placement consults the global clock; otherwise the
+    // fleet's placement policy decides (consulted mid-run — load
+    // snapshots now reflect arrivals and departures, not spawn order).
+    Task *t = cfg.useGlobalClock
+        ? &fleet.createTaskOn(clock.placeSteered(), req)
+        : &fleet.createTask(req);
+
+    s.task = t;
+    s.device = fleet.deviceOf(*t);
+    s.devices.push_back(s.device);
+    byTask[t] = sid;
+    startBody(s);
+
+    if (c.lifetime.finite()) {
+        const Tick life = c.lifetime.sample(lifetimeRng);
+        s.departureEv =
+            eq.scheduleIn(life, [this, sid] { onDeparture(sid); });
+    }
+}
+
+void
+ServeEngine::startBody(SessionRecord &s)
+{
+    const ServeClass &c = classes[s.cls];
+    fleet.startTask(*s.task, c.makeBody(*s.task, bodySeed(s)));
+    ++s.incarnation;
+}
+
+std::uint64_t
+ServeEngine::bodySeed(const SessionRecord &s) const
+{
+    // Distinct stream per (engine seed, session, incarnation) so a
+    // migrated body replays different jitter than its predecessor.
+    return (seed ^ ((s.id + 1) * 0x9e3779b97f4a7c15ull)) +
+        0x1000ull * static_cast<std::uint64_t>(s.incarnation + 1);
+}
+
+void
+ServeEngine::onDeparture(std::uint64_t sid)
+{
+    SessionRecord &s = *sessions[sid];
+    if (s.done)
+        return; // killed while the departure event was in flight
+    if (s.task && s.task->killed())
+        return; // same-tick kill: finalizeKill owns this session
+
+    byTask.erase(s.task);
+    // Retire first: aborting an in-flight request charges its device
+    // occupancy to this pid, and the snapshot must include it.
+    fleet.retireTask(*s.task);
+    endIncarnation(s);
+    s.task = nullptr;
+    s.departureEv = invalidEventId;
+    s.departed = eq.now();
+    s.done = true;
+    --nLive;
+    ++nDepartures;
+
+    freeSlot(s.tenant);
+}
+
+void
+ServeEngine::finalizeKill(std::uint64_t sid)
+{
+    SessionRecord &s = *sessions[sid];
+    if (s.done)
+        return;
+
+    endIncarnation(s);
+    byTask.erase(s.task);
+    eq.cancel(s.departureEv);
+    s.departureEv = invalidEventId;
+    s.task = nullptr;
+    s.departed = eq.now();
+    s.done = true;
+    s.killed = true;
+    --nLive;
+    ++nKilled;
+
+    freeSlot(s.tenant);
+}
+
+void
+ServeEngine::freeSlot(const std::string &tenant)
+{
+    if (auto released = adm.depart(tenant))
+        admitSession(released->session);
+}
+
+void
+ServeEngine::foldIncarnationUsage(SessionRecord &s) const
+{
+    // Incarnations get fresh pids, so the meter's per-pid counters are
+    // exactly this incarnation's usage — no baseline arithmetic.
+    const UsageMeter &m = fleet.stack(s.device).meter;
+    const int pid = s.task->pid();
+    s.busy += m.busyOf(pid);
+    s.requests += m.requestsOf(pid);
+    const Accum &rounds = s.task->roundTimes();
+    s.roundUsSum += rounds.mean() * static_cast<double>(rounds.count());
+    s.rounds += rounds.count();
+}
+
+void
+ServeEngine::endIncarnation(SessionRecord &s)
+{
+    if (!s.task)
+        return;
+    foldIncarnationUsage(s);
+}
+
+void
+ServeEngine::onClockTick()
+{
+    tryMigrate();
+    eq.scheduleIn(cfg.clockPeriod, [this] { onClockTick(); });
+}
+
+void
+ServeEngine::tryMigrate()
+{
+    if (cfg.migrationLag <= 0)
+        return;
+    if (cfg.migrationBudget > 0 && nMigrations >= cfg.migrationBudget)
+        return;
+
+    const MigrationPlan plan =
+        clock.checkMigration(cfg.migrationLag, cfg.migrationMinTasks);
+    if (!plan.migrate)
+        return;
+
+    // Victim: the source device's locally most-ahead session — under
+    // DFQ it is the one most likely to be denied there, and the target
+    // device's higher system vtime absorbs it without denial.
+    const auto *tap = dynamic_cast<const VirtualTimeTap *>(
+        fleet.stack(plan.from).sched.get());
+    SessionRecord *victim = nullptr;
+    Tick victim_v = 0;
+    // byTask holds exactly the live incarnations, so this scan is
+    // O(placed sessions), not O(sessions ever created).
+    for (const auto &kv : byTask) {
+        SessionRecord &s = *sessions[kv.second];
+        if (s.done || s.device != plan.from || !s.task->alive())
+            continue;
+        const Tick v = tap ? tap->tapTaskVtime(s.task->pid()) : 0;
+        if (!victim || v > victim_v) {
+            victim = &s;
+            victim_v = v;
+        }
+    }
+    if (!victim)
+        return;
+
+    byTask.erase(victim->task);
+    // Migrate first (retires the old incarnation, charging any aborted
+    // in-flight occupancy to its pid), then snapshot it.
+    Task &nt = fleet.migrateTask(*victim->task, plan.to);
+    endIncarnation(*victim);
+    victim->task = &nt;
+    victim->device = plan.to;
+    victim->devices.push_back(plan.to);
+    ++victim->migrations;
+    ++nMigrations;
+    byTask[&nt] = victim->id;
+    startBody(*victim);
+    // The session's departure event is untouched: lifetime is wall
+    // time in the system, not time on any one device.
+}
+
+std::vector<SessionRecord>
+ServeEngine::sessionResults() const
+{
+    std::vector<SessionRecord> out;
+    out.reserve(sessions.size());
+    for (const auto &sp : sessions) {
+        SessionRecord s = *sp; // copy
+        if (s.task)
+            foldIncarnationUsage(s); // open incarnation, not closed
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace neon

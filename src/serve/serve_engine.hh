@@ -1,0 +1,162 @@
+/**
+ * @file
+ * ServeEngine: the open-system serving loop over a device fleet.
+ *
+ * Sessions of configured workload classes arrive by their class's
+ * ArrivalSpec, pass through the AdmissionController (queueing while
+ * the fleet is at channel capacity), are placed — via the fleet's
+ * placement policy, or steered by the GlobalVirtualClock toward the
+ * most-lagging device — run for their sampled lifetime, possibly
+ * migrate when the global clock finds a device lagging the fleet, and
+ * depart, releasing their slot to the next queued request.
+ *
+ * A session is the stable identity across incarnations: each
+ * placement or migration creates a fresh Task (new pid on the target
+ * device's kernel) and restarts the workload body, while the session
+ * accumulates usage, rounds, and per-device history across all of
+ * them — so departed and migrated work stays fully accounted.
+ */
+
+#ifndef NEON_SERVE_SERVE_ENGINE_HH
+#define NEON_SERVE_SERVE_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_manager.hh"
+#include "serve/admission.hh"
+#include "serve/global_clock.hh"
+#include "serve/serve_config.hh"
+#include "sim/random.hh"
+#include "workload/arrival.hh"
+
+namespace neon
+{
+
+/** One open-system workload class (a tenant's traffic). */
+struct ServeClass
+{
+    std::string label;  ///< session labels become "label#N"
+    std::string tenant; ///< fair-share principal (defaults to label)
+    ArrivalSpec arrivals;
+    LifetimeSpec lifetime;
+    std::string affinityKey; ///< sticky placement (empty = label)
+    double demand = 1.0;     ///< expected-demand hint
+
+    /** Builds a (re)startable workload body for one incarnation. */
+    std::function<Co(Task &, std::uint64_t)> makeBody;
+};
+
+/** Lifecycle record of one session (stable across incarnations). */
+struct SessionRecord
+{
+    std::uint64_t id = 0;
+    std::size_t cls = 0;
+    std::string label;
+    std::string tenant;
+
+    Tick arrived = 0;
+    Tick admitted = -1;  ///< -1 while queued
+    Tick departed = -1;  ///< -1 while live
+    bool done = false;   ///< departed (or killed)
+    bool killed = false; ///< ended by per-device protection
+
+    // Accumulated across completed incarnations (endIncarnation);
+    // sessionResults() adds the open incarnation on top.
+    Tick busy = 0;               ///< ground-truth device time
+    std::uint64_t requests = 0;  ///< completed device requests
+    double roundUsSum = 0.0;     ///< sum of round durations (us)
+    std::uint64_t rounds = 0;    ///< completed rounds
+    int migrations = 0;
+    std::vector<std::size_t> devices; ///< device of each incarnation
+
+    // Open-incarnation state (engine internals).
+    Task *task = nullptr;
+    std::size_t device = 0;
+    int incarnation = 0;
+    EventId departureEv = invalidEventId;
+};
+
+/** Drives arrivals, admission, placement, migration, and departures. */
+class ServeEngine
+{
+  public:
+    /**
+     * @p slots_per_device is the resolved per-device live-session
+     * bound; fleet admission capacity is slots x deviceCount.
+     */
+    ServeEngine(EventQueue &eq, FleetManager &fleet,
+                const ServeConfig &cfg, std::vector<ServeClass> classes,
+                std::size_t slots_per_device, std::uint64_t seed);
+
+    ServeEngine(const ServeEngine &) = delete;
+    ServeEngine &operator=(const ServeEngine &) = delete;
+
+    /** Schedule initial arrivals and the global-clock tick. */
+    void start();
+
+    // ------------------------------------------------------------------
+    // Introspection (results, tests)
+    // ------------------------------------------------------------------
+
+    /**
+     * Per-session records with the open incarnation's usage folded in
+     * (safe to call mid-run; does not mutate engine state).
+     */
+    std::vector<SessionRecord> sessionResults() const;
+
+    const AdmissionController &admissionState() const { return adm; }
+    const GlobalVirtualClock &globalClock() const { return clock; }
+
+    std::uint64_t arrivalsSeen() const { return nArrivals; }
+    std::uint64_t departures() const { return nDepartures; }
+    std::uint64_t killedSessions() const { return nKilled; }
+    std::uint64_t migrationCount() const { return nMigrations; }
+    std::size_t liveSessions() const { return nLive; }
+    std::size_t peakLiveSessions() const { return peakLive; }
+    std::size_t slotsPerDevice() const { return slots; }
+
+  private:
+    void scheduleNextArrival(std::size_t cls);
+    void onArrival(std::size_t cls);
+    void admitSession(std::uint64_t sid);
+    void onDeparture(std::uint64_t sid);
+    void finalizeKill(std::uint64_t sid);
+    void freeSlot(const std::string &tenant);
+    void foldIncarnationUsage(SessionRecord &s) const;
+    void endIncarnation(SessionRecord &s);
+    void startBody(SessionRecord &s);
+    void onClockTick();
+    void tryMigrate();
+    std::uint64_t bodySeed(const SessionRecord &s) const;
+
+    EventQueue &eq;
+    FleetManager &fleet;
+    ServeConfig cfg;
+    std::vector<ServeClass> classes;
+    std::size_t slots;
+    std::uint64_t seed;
+
+    AdmissionController adm;
+    GlobalVirtualClock clock;
+    Rng lifetimeRng;
+    std::vector<ArrivalProcess> arrivalProcs; ///< parallel to classes
+
+    std::vector<std::unique_ptr<SessionRecord>> sessions; ///< by id
+    std::map<const Task *, std::uint64_t> byTask;
+
+    std::uint64_t nArrivals = 0;
+    std::uint64_t nDepartures = 0;
+    std::uint64_t nKilled = 0;
+    std::uint64_t nMigrations = 0;
+    std::size_t nLive = 0;
+    std::size_t peakLive = 0;
+};
+
+} // namespace neon
+
+#endif // NEON_SERVE_SERVE_ENGINE_HH

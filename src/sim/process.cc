@@ -48,6 +48,19 @@ Process::kill()
 }
 
 void
+Process::retire()
+{
+    if (procState != State::Running)
+        return;
+
+    cancelResume();
+    procState = State::Done;
+    body.destroy();
+    // Deliberately no onDone: the body did not run to completion, the
+    // caller ended it and already knows.
+}
+
+void
 Process::resumeAt(Tick delay)
 {
     if (procState != State::Running)

@@ -51,6 +51,15 @@ class Process
      */
     void kill();
 
+    /**
+     * Retire the process: like kill(), but a graceful, expected end of
+     * life (state becomes Done, onKilled is not invoked). Open-system
+     * workloads use this when a task's lifetime expires or it migrates
+     * to another device. Same reentrancy rule as kill(): never call it
+     * from inside the process's own body.
+     */
+    void retire();
+
     const std::string &name() const { return procName; }
     State state() const { return procState; }
     bool alive() const { return procState == State::Running; }

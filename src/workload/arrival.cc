@@ -1,0 +1,81 @@
+#include "workload/arrival.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace neon
+{
+
+Tick
+LifetimeSpec::sample(Rng &rng) const
+{
+    switch (kind) {
+      case Kind::Forever:
+        return maxTick;
+      case Kind::Fixed:
+        return mean > minimum ? mean : minimum;
+      case Kind::Exponential: {
+        const Tick d = static_cast<Tick>(
+            rng.exponential(static_cast<double>(mean)));
+        return d > minimum ? d : minimum;
+      }
+    }
+    panic("unknown lifetime kind");
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalSpec &spec, Rng rng)
+    : spec(spec), rng(std::move(rng))
+{
+    if (spec.kind == ArrivalSpec::Kind::Poisson && spec.ratePerSec <= 0.0)
+        panic("arrival: Poisson rate must be positive");
+    if (spec.kind == ArrivalSpec::Kind::Burst &&
+        (spec.burstSize == 0 || spec.burstPeriod <= 0)) {
+        panic("arrival: burst needs a size and a positive period");
+    }
+}
+
+bool
+ArrivalProcess::next(Tick &when)
+{
+    Tick t = 0;
+    switch (spec.kind) {
+      case ArrivalSpec::Kind::Poisson: {
+        const double mean_gap_ticks = 1e9 / spec.ratePerSec;
+        t = lastTime + static_cast<Tick>(rng.exponential(mean_gap_ticks));
+        break;
+      }
+      case ArrivalSpec::Kind::Burst: {
+        if (first) {
+            burstFront = 0;
+            burstLeft = spec.burstSize;
+        }
+        if (burstLeft == 0) {
+            burstFront += spec.burstPeriod;
+            burstLeft = spec.burstSize;
+        }
+        t = burstFront;
+        --burstLeft;
+        break;
+      }
+      case ArrivalSpec::Kind::Trace: {
+        if (traceIdx >= spec.times.size())
+            return false;
+        t = spec.times[traceIdx++];
+        if (t < lastTime)
+            panic("arrival: trace times must be nondecreasing");
+        break;
+      }
+    }
+
+    if (spec.until > 0 && t > spec.until)
+        return false;
+
+    first = false;
+    lastTime = t;
+    when = t;
+    ++count;
+    return true;
+}
+
+} // namespace neon

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Open-system arrival processes and task lifetimes.
+ *
+ * The closed harness spawns every task at t0 and runs them forever; an
+ * open system needs tasks that arrive by some stochastic (or traced)
+ * process and depart after a finite lifetime. ArrivalSpec describes
+ * when sessions of a workload class enter the system; LifetimeSpec
+ * describes how long an admitted session stays. Both are pure data —
+ * ArrivalProcess turns a spec plus an Rng into a deterministic,
+ * reproducible event stream for the serve layer.
+ */
+
+#ifndef NEON_WORKLOAD_ARRIVAL_HH
+#define NEON_WORKLOAD_ARRIVAL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace neon
+{
+
+/** How sessions of one class enter the system. */
+struct ArrivalSpec
+{
+    enum class Kind
+    {
+        /** Memoryless arrivals at `ratePerSec` (M/·/· offered load). */
+        Poisson,
+
+        /** `burstSize` back-to-back arrivals every `burstPeriod`. */
+        Burst,
+
+        /** Explicit arrival times (replayed workload trace). */
+        Trace,
+    };
+
+    Kind kind = Kind::Poisson;
+
+    /** Poisson: mean arrivals per simulated second. */
+    double ratePerSec = 10.0;
+
+    /** Burst: arrivals per burst and gap between burst fronts. */
+    std::size_t burstSize = 4;
+    Tick burstPeriod = msec(100);
+
+    /** Trace: absolute arrival times, nondecreasing. */
+    std::vector<Tick> times;
+
+    /**
+     * Stop offering arrivals at this absolute time (0 = never). Lets
+     * experiments close the arrival window and watch the admission
+     * queue drain.
+     */
+    Tick until = 0;
+
+    static ArrivalSpec
+    poisson(double rate_per_sec, Tick until = 0)
+    {
+        ArrivalSpec s;
+        s.kind = Kind::Poisson;
+        s.ratePerSec = rate_per_sec;
+        s.until = until;
+        return s;
+    }
+
+    static ArrivalSpec
+    burst(std::size_t size, Tick period, Tick until = 0)
+    {
+        ArrivalSpec s;
+        s.kind = Kind::Burst;
+        s.burstSize = size;
+        s.burstPeriod = period;
+        s.until = until;
+        return s;
+    }
+
+    static ArrivalSpec
+    trace(std::vector<Tick> times)
+    {
+        ArrivalSpec s;
+        s.kind = Kind::Trace;
+        s.times = std::move(times);
+        return s;
+    }
+};
+
+/** How long an admitted session stays before departing. */
+struct LifetimeSpec
+{
+    enum class Kind
+    {
+        Forever,     ///< closed-system behaviour: never departs
+        Fixed,       ///< exactly `mean`
+        Exponential, ///< memoryless with mean `mean`
+    };
+
+    Kind kind = Kind::Forever;
+    Tick mean = sec(1);
+
+    /** Floor applied to sampled lifetimes (exponential tail safety). */
+    Tick minimum = msec(1);
+
+    static LifetimeSpec
+    forever()
+    {
+        return LifetimeSpec{};
+    }
+
+    static LifetimeSpec
+    fixed(Tick d)
+    {
+        LifetimeSpec s;
+        s.kind = Kind::Fixed;
+        s.mean = d;
+        return s;
+    }
+
+    static LifetimeSpec
+    exponential(Tick mean)
+    {
+        LifetimeSpec s;
+        s.kind = Kind::Exponential;
+        s.mean = mean;
+        return s;
+    }
+
+    bool finite() const { return kind != Kind::Forever; }
+
+    /** Draw one lifetime; maxTick when Forever. */
+    Tick sample(Rng &rng) const;
+};
+
+/**
+ * Stateful iterator over an ArrivalSpec's event stream. Deterministic
+ * for a given (spec, rng) pair; the serve layer advances it one
+ * arrival at a time and schedules the next event on the event queue.
+ */
+class ArrivalProcess
+{
+  public:
+    ArrivalProcess(const ArrivalSpec &spec, Rng rng);
+
+    /**
+     * The next arrival's absolute time, or false when the process is
+     * exhausted (trace consumed, or past `spec.until`). Monotone
+     * nondecreasing across calls.
+     */
+    bool next(Tick &when);
+
+    std::uint64_t produced() const { return count; }
+
+  private:
+    ArrivalSpec spec;
+    Rng rng;
+    Tick lastTime = 0;
+    std::size_t traceIdx = 0;    ///< Trace: next entry
+    std::size_t burstLeft = 0;   ///< Burst: arrivals left in this burst
+    Tick burstFront = 0;         ///< Burst: time of the current front
+    bool first = true;
+    std::uint64_t count = 0;
+};
+
+} // namespace neon
+
+#endif // NEON_WORKLOAD_ARRIVAL_HH

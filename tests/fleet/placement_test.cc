@@ -167,6 +167,46 @@ TEST(StickyPlacement, DistinctKeysSpreadAcrossDevices)
         EXPECT_EQ(count, 2);
 }
 
+TEST(StickyPlacement, EvictsKeyWhenLastLiveTaskDeparts)
+{
+    StickyPlacement p(2);
+    auto devices = homogeneous(2);
+
+    // Two tasks of tenant "hot" land on device 0.
+    EXPECT_EQ(p.place(devices, req("a", "hot")), 0u);
+    p.noteTaskPlaced(req("a", "hot"), 0);
+    EXPECT_EQ(p.place(devices, req("b", "hot")), 0u);
+    p.noteTaskPlaced(req("b", "hot"), 0);
+    EXPECT_EQ(p.preferredOf("hot"), 0);
+
+    // One departs: the mapping survives for the remaining task.
+    p.noteTaskDeparted(req("a", "hot"), 0);
+    EXPECT_EQ(p.preferredOf("hot"), 0);
+
+    // Last one departs: the key is evicted, and a returning tenant
+    // re-places against current load (device 1 is now emptier).
+    p.noteTaskDeparted(req("b", "hot"), 0);
+    EXPECT_EQ(p.preferredOf("hot"), -1);
+
+    devices[0].busyTime = msec(500);
+    devices[1].busyTime = msec(5);
+    EXPECT_EQ(p.place(devices, req("c", "hot")), 1u);
+}
+
+TEST(StickyPlacement, ForcedPlacementKeepsLiveCountBalanced)
+{
+    // noteTaskPlaced without a preceding place() (serve steering or
+    // migration) must create the mapping and count the task, so a
+    // later departure still balances to eviction.
+    StickyPlacement p(2);
+    p.noteTaskPlaced(req("m", "mig"), 1);
+    EXPECT_EQ(p.preferredOf("mig"), 1);
+    p.noteTaskDeparted(req("m", "mig"), 1);
+    EXPECT_EQ(p.preferredOf("mig"), -1);
+    // Departures for unknown keys are ignored, not fatal.
+    p.noteTaskDeparted(req("x", "ghost"), 0);
+}
+
 TEST(HeterogeneityAwarePlacement, FasterDeviceAbsorbsProportionalShare)
 {
     HeterogeneityAwarePlacement p;

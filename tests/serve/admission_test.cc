@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the AdmissionController: capacity gating, queue
+ * ordering under each release policy, tenant accounting, and stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/admission.hh"
+
+namespace neon
+{
+namespace
+{
+
+QueuedRequest
+req(std::uint64_t id, const std::string &tenant, double demand = 1.0,
+    Tick when = 0)
+{
+    QueuedRequest r;
+    r.session = id;
+    r.tenant = tenant;
+    r.demand = demand;
+    r.enqueued = when;
+    return r;
+}
+
+TEST(Admission, AdmitsUntilCapacityThenQueues)
+{
+    AdmissionController adm(AdmissionKind::Fifo, 2);
+    EXPECT_TRUE(adm.arrive(req(0, "a")));
+    EXPECT_TRUE(adm.arrive(req(1, "b")));
+    EXPECT_FALSE(adm.arrive(req(2, "c")));
+    EXPECT_EQ(adm.live(), 2u);
+    EXPECT_EQ(adm.pendingCount(), 1u);
+    EXPECT_EQ(adm.admittedDirect(), 2u);
+    EXPECT_EQ(adm.arrivals(), 3u);
+}
+
+TEST(Admission, DepartureReleasesFifoOrder)
+{
+    AdmissionController adm(AdmissionKind::Fifo, 1);
+    EXPECT_TRUE(adm.arrive(req(0, "a")));
+    EXPECT_FALSE(adm.arrive(req(1, "b", 1.0, usec(1))));
+    EXPECT_FALSE(adm.arrive(req(2, "c", 1.0, usec(2))));
+
+    auto rel = adm.depart("a");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 1u);
+    rel = adm.depart("b");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 2u);
+    rel = adm.depart("c");
+    EXPECT_FALSE(rel.has_value());
+    EXPECT_EQ(adm.live(), 0u);
+    EXPECT_EQ(adm.admittedFromQueue(), 2u);
+}
+
+TEST(Admission, NoQueueJumpWhileOthersWait)
+{
+    // A free slot must not let a newcomer jump an existing queue.
+    AdmissionController adm(AdmissionKind::ShortestDemand, 1);
+    EXPECT_TRUE(adm.arrive(req(0, "a")));
+    EXPECT_FALSE(adm.arrive(req(1, "b", 5.0)));
+    auto rel = adm.depart("a");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 1u);
+    // Queue was drained before this arrival, so it admits directly.
+    EXPECT_FALSE(adm.arrive(req(2, "c", 0.1)));
+    EXPECT_EQ(adm.pendingCount(), 1u);
+}
+
+TEST(Admission, ShortestDemandPicksLightestRequest)
+{
+    AdmissionController adm(AdmissionKind::ShortestDemand, 1);
+    EXPECT_TRUE(adm.arrive(req(0, "a")));
+    EXPECT_FALSE(adm.arrive(req(1, "heavy", 8.0)));
+    EXPECT_FALSE(adm.arrive(req(2, "light", 0.5)));
+    EXPECT_FALSE(adm.arrive(req(3, "medium", 2.0)));
+
+    auto rel = adm.depart("a");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 2u); // lightest first
+    rel = adm.depart("light");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 3u);
+    rel = adm.depart("medium");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 1u);
+}
+
+TEST(Admission, ShortestDemandBreaksTiesByArrival)
+{
+    AdmissionController adm(AdmissionKind::ShortestDemand, 1);
+    EXPECT_TRUE(adm.arrive(req(0, "a")));
+    EXPECT_FALSE(adm.arrive(req(1, "b", 1.0)));
+    EXPECT_FALSE(adm.arrive(req(2, "c", 1.0)));
+    auto rel = adm.depart("a");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 1u);
+}
+
+TEST(Admission, FairSharePrefersTenantWithFewestLive)
+{
+    AdmissionController adm(AdmissionKind::FairShare, 3);
+    // Tenant A fills the fleet; A and B queue behind.
+    EXPECT_TRUE(adm.arrive(req(0, "A")));
+    EXPECT_TRUE(adm.arrive(req(1, "A")));
+    EXPECT_TRUE(adm.arrive(req(2, "A")));
+    EXPECT_FALSE(adm.arrive(req(3, "A")));
+    EXPECT_FALSE(adm.arrive(req(4, "B")));
+
+    // B has zero live sessions and wins the freed slot despite
+    // arriving after A's fourth request.
+    auto rel = adm.depart("A");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 4u);
+    EXPECT_EQ(adm.liveOf("B"), 1u);
+    EXPECT_EQ(adm.liveOf("A"), 2u);
+
+    // Now A (2 live) vs B (1 live): the queued A request still loses
+    // to nothing — it is the only one left, so it admits.
+    rel = adm.depart("A");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 3u);
+}
+
+TEST(Admission, PeakPendingTracksHighWaterMark)
+{
+    AdmissionController adm(AdmissionKind::Fifo, 1);
+    EXPECT_TRUE(adm.arrive(req(0, "a")));
+    EXPECT_FALSE(adm.arrive(req(1, "b")));
+    EXPECT_FALSE(adm.arrive(req(2, "c")));
+    EXPECT_EQ(adm.peakPending(), 2u);
+    (void)adm.depart("a");
+    (void)adm.depart("b");
+    EXPECT_EQ(adm.pendingCount(), 0u);
+    EXPECT_EQ(adm.peakPending(), 2u);
+}
+
+} // namespace
+} // namespace neon

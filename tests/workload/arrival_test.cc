@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for open-system arrival processes and lifetime specs:
+ * Poisson rate statistics, burst shape, trace replay, the `until`
+ * cutoff, and lifetime sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+#include "workload/arrival.hh"
+
+namespace neon
+{
+namespace
+{
+
+TEST(ArrivalProcess, PoissonMatchesConfiguredRate)
+{
+    // 1000 arrivals/s over 2 simulated seconds: the count should land
+    // near 2000 (the relative sd of a Poisson count at n=2000 is ~2%).
+    ArrivalProcess ap(ArrivalSpec::poisson(1000.0, sec(2)), Rng(7));
+    Tick when = 0;
+    std::uint64_t n = 0;
+    Tick last = -1;
+    while (ap.next(when)) {
+        EXPECT_GE(when, last);
+        last = when;
+        ++n;
+    }
+    EXPECT_NEAR(static_cast<double>(n), 2000.0, 200.0);
+    EXPECT_LE(last, sec(2));
+}
+
+TEST(ArrivalProcess, PoissonIsDeterministicPerSeed)
+{
+    ArrivalProcess a(ArrivalSpec::poisson(500.0, sec(1)), Rng(42));
+    ArrivalProcess b(ArrivalSpec::poisson(500.0, sec(1)), Rng(42));
+    Tick wa = 0, wb = 0;
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(a.next(wa));
+        ASSERT_TRUE(b.next(wb));
+        EXPECT_EQ(wa, wb);
+    }
+}
+
+TEST(ArrivalProcess, BurstProducesFrontsOfExactSize)
+{
+    // 3 back-to-back arrivals every 10 ms, starting at t=0.
+    ArrivalProcess ap(ArrivalSpec::burst(3, msec(10), msec(25)), Rng(1));
+    std::vector<Tick> times;
+    Tick when = 0;
+    while (ap.next(when))
+        times.push_back(when);
+
+    const std::vector<Tick> expect = {0,        0,        0,
+                                      msec(10), msec(10), msec(10),
+                                      msec(20), msec(20), msec(20)};
+    EXPECT_EQ(times, expect);
+}
+
+TEST(ArrivalProcess, TraceReplaysExactly)
+{
+    const std::vector<Tick> trace = {usec(5), usec(5), msec(1), msec(3)};
+    ArrivalProcess ap(ArrivalSpec::trace(trace), Rng(1));
+    Tick when = 0;
+    for (Tick expect : trace) {
+        ASSERT_TRUE(ap.next(when));
+        EXPECT_EQ(when, expect);
+    }
+    EXPECT_FALSE(ap.next(when));
+    EXPECT_EQ(ap.produced(), trace.size());
+}
+
+TEST(ArrivalProcess, UntilClosesTheArrivalWindow)
+{
+    ArrivalProcess ap(ArrivalSpec::burst(2, msec(5), msec(6)), Rng(1));
+    Tick when = 0;
+    std::uint64_t n = 0;
+    while (ap.next(when)) {
+        EXPECT_LE(when, msec(6));
+        ++n;
+    }
+    // Fronts at 0 and 5 ms pass; the 10 ms front is past the window.
+    EXPECT_EQ(n, 4u);
+}
+
+TEST(LifetimeSpec, FixedAndForever)
+{
+    Rng rng(3);
+    EXPECT_EQ(LifetimeSpec::fixed(msec(250)).sample(rng), msec(250));
+    EXPECT_EQ(LifetimeSpec::forever().sample(rng), maxTick);
+    EXPECT_FALSE(LifetimeSpec::forever().finite());
+    EXPECT_TRUE(LifetimeSpec::fixed(msec(1)).finite());
+}
+
+TEST(LifetimeSpec, ExponentialMeanAndFloor)
+{
+    Rng rng(11);
+    const LifetimeSpec life = LifetimeSpec::exponential(msec(100));
+    double sum = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const Tick d = life.sample(rng);
+        EXPECT_GE(d, life.minimum);
+        sum += toMsec(d);
+    }
+    EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+} // namespace
+} // namespace neon
