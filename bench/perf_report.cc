@@ -217,6 +217,22 @@ main(int argc, char **argv)
     const CaseResult churn_serve = timeCase(minS, [](EventQueue &eq) {
         return neonbench::openSystemChurnBatch(eq, batchN);
     });
+    // Same workload with per-event SimCore tracing live, so the report
+    // tracks what switching the trace plane on costs the hot loop. The
+    // CI floor applies to the untraced case only.
+    std::cerr << "running open_system_churn (tracing on)...\n";
+    obs::TraceRecorder trace_ring(std::size_t(1) << 16);
+    const CaseResult churn_traced = timeCase(minS, [&](EventQueue &eq) {
+        obs::setTraceSink(
+            &trace_ring,
+            static_cast<std::uint32_t>(obs::TraceCategory::SimCore), &eq);
+        return neonbench::openSystemChurnBatch(eq, batchN);
+    });
+    obs::setTraceSink(nullptr, 0);
+    if (trace_ring.written() == 0) {
+        std::cerr << "perf_report: traced churn recorded nothing\n";
+        return 2;
+    }
     std::cerr << "running end_to_end_dfq...\n";
     const EndToEnd e2e = endToEndDfq();
     std::cerr << "running end_to_end_serve...\n";
@@ -233,7 +249,8 @@ main(int argc, char **argv)
     emitCase(os, "schedule_run", schedule_run);
     emitCase(os, "schedule_cancel_churn", churn);
     emitCase(os, "fleet_interleave", fleet);
-    emitCase(os, "open_system_churn", churn_serve, /*last=*/true);
+    emitCase(os, "open_system_churn", churn_serve);
+    emitCase(os, "open_system_churn_traced", churn_traced, /*last=*/true);
     os << "  },\n"
        << "  \"end_to_end_dfq\": {\n"
        << "    \"sim_ms\": " << e2e.simMs << ",\n"
@@ -264,6 +281,8 @@ main(int argc, char **argv)
               << " events/s\n"
               << "open_system_churn:     " << churn_serve.itemsPerSec
               << " events/s\n"
+              << "  ... tracing on:      " << churn_traced.itemsPerSec
+              << " events/s (" << trace_ring.dropped() << " dropped)\n"
               << "end_to_end_dfq:        " << e2e.simMsPerWallS
               << " sim-ms/wall-s\n"
               << "end_to_end_serve:      " << serve.simMsPerWallS

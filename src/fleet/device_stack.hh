@@ -31,6 +31,7 @@ class DeviceStack
         : index(index), device(eq, device_cfg, meter),
           kernel(eq, device, costs, channel_policy)
     {
+        device.setDeviceIndex(static_cast<int>(index));
         kernel.polling().setPeriod(poll_period);
     }
 

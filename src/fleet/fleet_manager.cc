@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace neon
@@ -49,13 +50,24 @@ FleetManager::emplaceTask(std::size_t device, const PlacementRequest &req)
     ++liveTasksPerDevice[device];
     liveDemandPerDevice[device] += req.demand;
     policy->noteTaskPlaced(req, device);
+    NEON_TRACE(obs::TraceCategory::Fleet, obs::TraceKind::Instant,
+               "fleet.place",
+               obs::TraceIds{static_cast<std::int16_t>(device), ref.pid(),
+                             -1},
+               liveTasksPerDevice[device], 0);
 
     // Protection kills happen inside the per-device scheduler; surface
     // them to fleet-level observers (admission control) and keep the
     // placement policy's live-task bookkeeping honest.
     ref.onKilled = [this](Process &p) {
         Task &t = static_cast<Task &>(p);
-        releasePlacement(placedOf(t));
+        Placed &entry = placedOf(t);
+        NEON_TRACE(obs::TraceCategory::Fleet, obs::TraceKind::Instant,
+                   "fleet.task_killed",
+                   obs::TraceIds{static_cast<std::int16_t>(entry.device),
+                                 t.pid(), -1},
+                   0, 0);
+        releasePlacement(entry);
         if (onTaskKilled)
             onTaskKilled(t);
     };
@@ -121,6 +133,11 @@ FleetManager::retireTask(Task &t)
     if (t.killed())
         return;
     Placed &entry = placedOf(t);
+    NEON_TRACE(obs::TraceCategory::Fleet, obs::TraceKind::Instant,
+               "fleet.retire",
+               obs::TraceIds{static_cast<std::int16_t>(entry.device),
+                             t.pid(), -1},
+               liveTasksPerDevice[entry.device], 0);
     stacks[entry.device]->kernel.retireTask(t);
     releasePlacement(entry);
 }
@@ -137,6 +154,11 @@ FleetManager::migrateTask(Task &t, std::size_t target)
     // Copy the request before retiring: retireTask may not invalidate
     // `entry`, but emplaceTask below grows `placed` and can reallocate.
     const PlacementRequest req = entry.req;
+    NEON_TRACE(obs::TraceCategory::Fleet, obs::TraceKind::Instant,
+               "fleet.migrate",
+               obs::TraceIds{static_cast<std::int16_t>(entry.device),
+                             t.pid(), -1},
+               entry.device, target);
     retireTask(t);
     return emplaceTask(target, req);
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace neon
@@ -125,6 +126,17 @@ GpuDevice::tryDispatch(Engine &e)
     if (switch_cost > 0)
         meter.recordSwitch(switch_cost);
 
+    const obs::TraceIds dispatch_ids{devIndex, c->context().taskId(), -1};
+    if (e.kind == EngineKind::Execute) {
+        NEON_TRACE(obs::TraceCategory::Device, obs::TraceKind::Begin,
+                   "engine.exec", dispatch_ids, req.serviceTime,
+                   switch_cost);
+    } else {
+        NEON_TRACE(obs::TraceCategory::Device, obs::TraceKind::Begin,
+                   "engine.dma", dispatch_ids, req.serviceTime,
+                   switch_cost);
+    }
+
     e.lastContext = c->context().id();
     e.lastChannel = c->id();
     e.lastClass = c->channelClass();
@@ -167,6 +179,15 @@ GpuDevice::finish(Engine &e)
     meter.recordBusy(task_id, service, req.cls);
     meter.noteRequest(task_id);
 
+    const obs::TraceIds finish_ids{devIndex, task_id, -1};
+    if (e.kind == EngineKind::Execute) {
+        NEON_TRACE(obs::TraceCategory::Device, obs::TraceKind::End,
+                   "engine.exec", finish_ids, service, req.ref);
+    } else {
+        NEON_TRACE(obs::TraceCategory::Device, obs::TraceKind::End,
+                   "engine.dma", finish_ids, service, req.ref);
+    }
+
     e.busy = false;
     e.current = nullptr;
     e.completionEvent = invalidEventId;
@@ -199,6 +220,17 @@ GpuDevice::abortChannel(Channel &c)
         const Tick occupied =
             std::max<Tick>(0, eq.now() - e.serviceStart);
         meter.recordBusy(c.context().taskId(), occupied, e.active.cls);
+
+        const obs::TraceIds abort_ids{devIndex, c.context().taskId(), -1};
+        if (e.kind == EngineKind::Execute) {
+            NEON_TRACE(obs::TraceCategory::Device, obs::TraceKind::End,
+                       "engine.exec", abort_ids, occupied, 0);
+        } else {
+            NEON_TRACE(obs::TraceCategory::Device, obs::TraceKind::End,
+                       "engine.dma", abort_ids, occupied, 0);
+        }
+        NEON_TRACE(obs::TraceCategory::Device, obs::TraceKind::Instant,
+                   "engine.abort", abort_ids, c.id(), 0);
 
         e.current = nullptr;
         c.setBusyOnDevice(false);

@@ -22,6 +22,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -48,6 +49,10 @@ class GpuDevice
     GpuDevice &operator=(const GpuDevice &) = delete;
 
     const DeviceConfig &config() const { return cfg; }
+
+    /** Fleet position, stamped into trace records (DeviceStack sets). */
+    void setDeviceIndex(int i) { devIndex = static_cast<std::int16_t>(i); }
+    std::int16_t deviceIndex() const { return devIndex; }
 
     /** Create a device context for a task. */
     GpuContext *createContext(int task_id);
@@ -135,6 +140,7 @@ class GpuDevice
     EventQueue &eq;
     DeviceConfig cfg;
     UsageMeter &meter;
+    std::int16_t devIndex = 0;
 
     std::array<Engine, 2> engines;
     std::vector<std::unique_ptr<GpuContext>> contexts;

@@ -159,6 +159,13 @@ World::World(const ExperimentConfig &cfg)
     kernel.setScheduler(sched.get());
     if (cfg.collectTraces)
         trace.attach(device);
+    if (cfg.observe.enabled()) {
+        observer = std::make_unique<obs::Observer>(eq, cfg.observe);
+        observer->metrics().probe("eq.executed", [this] {
+            return static_cast<double>(eq.executed());
+        });
+        observer->start();
+    }
 }
 
 World::~World() = default;
@@ -251,6 +258,11 @@ FleetWorld::FleetWorld(const ExperimentConfig &cfg)
             traces.push_back(std::make_unique<RequestTrace>());
             traces.back()->attach(fleet.stack(i).device);
         }
+    }
+    if (cfg.observe.enabled()) {
+        observer = std::make_unique<obs::Observer>(eq, cfg.observe);
+        observer->attachFleet(fleet);
+        observer->start();
     }
 }
 
@@ -380,6 +392,7 @@ ExperimentRunner::soloRoundUs(const WorkloadSpec &spec) const
 {
     ExperimentConfig solo_cfg = cfg;
     solo_cfg.sched = SchedKind::Direct;
+    solo_cfg.observe = {}; // baselines never trace
     ExperimentRunner solo(solo_cfg);
     const RunResult r = solo.run({spec});
     return r.tasks.at(0).meanRoundUs;

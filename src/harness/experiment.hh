@@ -19,6 +19,7 @@
 #include "gpu/device.hh"
 #include "gpu/usage_meter.hh"
 #include "metrics/request_trace.hh"
+#include "obs/observe.hh"
 #include "os/kernel.hh"
 #include "os/task.hh"
 #include "sched/disengaged_fq.hh"
@@ -83,6 +84,13 @@ struct ExperimentConfig
 
     /** Attach a RequestTrace during measurement (Table 1 / Fig. 2). */
     bool collectTraces = false;
+
+    /**
+     * Tracing & metrics plane (all worlds): category mask, trace ring
+     * capacity, sampling cadence, and output paths. Default-disabled —
+     * every NEON_TRACE point stays a single predicted-untaken branch.
+     */
+    obs::ObserveConfig observe;
 };
 
 /** One task's workload description. */
@@ -187,6 +195,9 @@ class World
     std::unique_ptr<Scheduler> sched;
     RequestTrace trace;
 
+    /** Tracing/metrics bundle (cfg.observe.enabled() only, else null). */
+    std::unique_ptr<obs::Observer> observer;
+
   private:
     ExperimentConfig cfg;
     std::vector<std::unique_ptr<Task>> taskStore;
@@ -285,6 +296,9 @@ class FleetWorld
 
     EventQueue eq;
     FleetManager fleet;
+
+    /** Tracing/metrics bundle (cfg.observe.enabled() only, else null). */
+    std::unique_ptr<obs::Observer> observer;
 
   private:
     ExperimentConfig cfg;

@@ -71,6 +71,12 @@ ServeWorld::ServeWorld(const ExperimentConfig &cfg,
              resolveSlotsPerDevice(cfg), cfg.seed),
       cfg(cfg)
 {
+    if (cfg.observe.enabled()) {
+        observer = std::make_unique<obs::Observer>(eq, cfg.observe);
+        observer->attachFleet(fleet);
+        observer->attachServe(engine);
+        observer->start();
+    }
 }
 
 ServeWorld::~ServeWorld() = default;
@@ -169,6 +175,10 @@ ServeRunner::run(const std::vector<ServeWorkloadSpec> &specs,
     world.start();
     world.runFor(cfg.measure);
     ServeRunResult r = world.results();
+    if (world.observer) {
+        world.observer->writeOutputs();
+        r.observeSummary = world.observer->summary();
+    }
 
     if (with_slowdowns) {
         // Per-class isolated baseline: the workload alone on one
@@ -179,6 +189,8 @@ ServeRunner::run(const std::vector<ServeWorkloadSpec> &specs,
         solo_cfg.fleet = FleetConfig{};
         solo_cfg.warmup = msec(100);
         solo_cfg.measure = msec(500);
+        solo_cfg.observe = {}; // baselines never trace
+
         ExperimentRunner solo(solo_cfg);
 
         std::map<std::size_t, double> solo_round;

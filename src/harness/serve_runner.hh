@@ -107,6 +107,9 @@ struct ServeRunResult
 
     SloReport slo;
 
+    /** Observer capture summary (empty when observe was disabled). */
+    std::string observeSummary;
+
     const ServeSessionResult &byLabel(const std::string &label) const;
 };
 
@@ -132,6 +135,9 @@ class ServeWorld
     EventQueue eq;
     FleetManager fleet;
     ServeEngine engine;
+
+    /** Tracing/metrics bundle (cfg.observe.enabled() only, else null). */
+    std::unique_ptr<obs::Observer> observer;
 
   private:
     ExperimentConfig cfg;

@@ -25,8 +25,23 @@ class Table
     /** Render to @p os with column alignment and a rule under header. */
     void print(std::ostream &os = std::cout) const;
 
-    /** Format a double with fixed precision. */
-    static std::string num(double v, int precision = 2);
+    /**
+     * Render as RFC-4180-style CSV (header row first). Cells containing
+     * commas, quotes, or newlines are quoted; everything else is
+     * emitted verbatim, so the output feeds pandas/gnuplot directly.
+     */
+    void printCsv(std::ostream &os) const;
+
+    /** How num() interprets its digit count. */
+    enum class Digits
+    {
+        Fixed,       ///< digits after the decimal point
+        Significant, ///< total significant digits
+    };
+
+    /** Format a double with @p precision fixed or significant digits. */
+    static std::string num(double v, int precision = 2,
+                           Digits mode = Digits::Fixed);
 
   private:
     std::vector<std::string> header;

@@ -31,6 +31,10 @@
 #include "metrics/reporter.hh"
 #include "metrics/request_trace.hh"
 #include "metrics/slo.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/metrics.hh"
+#include "obs/observe.hh"
+#include "obs/trace.hh"
 #include "os/kernel.hh"
 #include "os/scheduler.hh"
 #include "os/task.hh"

@@ -1,0 +1,127 @@
+#include "obs/observe.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "fleet/fleet_manager.hh"
+#include "obs/chrome_trace.hh"
+#include "sched/vtime_tap.hh"
+#include "serve/serve_engine.hh"
+#include "sim/logging.hh"
+
+namespace neon
+{
+namespace obs
+{
+
+Observer::Observer(EventQueue &q, const ObserveConfig &c)
+    : eq(q), cfg(c), ring(c.bufferCapacity)
+{
+    setTraceSink(&ring, cfg.categories, &eq);
+}
+
+Observer::~Observer()
+{
+    // Another Observer may have taken over the sink (nested worlds in
+    // slowdown-baseline runs); only deactivate if it is still ours.
+    if (traceSink() == &ring)
+        setTraceSink(nullptr, 0);
+}
+
+void
+Observer::attachFleet(FleetManager &fleet)
+{
+    registry.probe("eq.executed", [this] {
+        return static_cast<double>(eq.executed());
+    });
+    for (std::size_t i = 0; i < fleet.deviceCount(); ++i) {
+        const std::string dev = "dev" + std::to_string(i);
+        registry.probe(dev + ".queue_depth", [&fleet, i] {
+            return static_cast<double>(fleet.loadViews()[i].assignedTasks);
+        });
+        if (dynamic_cast<VirtualTimeTap *>(fleet.stack(i).sched.get())) {
+            registry.probe(dev + ".norm_vtime_ms", [&fleet, i] {
+                const auto *tap = dynamic_cast<const VirtualTimeTap *>(
+                    fleet.stack(i).sched.get());
+                const double speed =
+                    fleet.stack(i).device.config().speedFactor;
+                return toMsec(tap->tapSystemVtime()) * speed;
+            });
+        }
+    }
+    registry.probe("fleet.vtime_lag_ms", [&fleet] {
+        double lo = 0.0, hi = 0.0;
+        bool any = false;
+        for (std::size_t i = 0; i < fleet.deviceCount(); ++i) {
+            const auto *tap = dynamic_cast<const VirtualTimeTap *>(
+                fleet.stack(i).sched.get());
+            if (!tap)
+                continue;
+            const double norm = toMsec(tap->tapSystemVtime()) *
+                                fleet.stack(i).device.config().speedFactor;
+            if (!any) {
+                lo = hi = norm;
+                any = true;
+            } else {
+                lo = std::min(lo, norm);
+                hi = std::max(hi, norm);
+            }
+        }
+        return any ? hi - lo : 0.0;
+    });
+}
+
+void
+Observer::attachServe(ServeEngine &engine)
+{
+    registry.probe("serve.queue_len", [&engine] {
+        return static_cast<double>(engine.admissionState().pendingCount());
+    });
+    registry.probe("serve.live_sessions", [&engine] {
+        return static_cast<double>(engine.liveSessions());
+    });
+}
+
+void
+Observer::start()
+{
+    if (cfg.samplePeriod > 0)
+        registry.startSampling(eq, cfg.samplePeriod);
+}
+
+void
+Observer::writeOutputs()
+{
+    if (!cfg.tracePath.empty()) {
+        std::ofstream os(cfg.tracePath);
+        if (!os)
+            fatal("cannot open trace output '", cfg.tracePath, "'");
+        writeChromeTrace(os, ring);
+    }
+    if (!cfg.countersCsvPath.empty()) {
+        std::ofstream os(cfg.countersCsvPath);
+        if (!os)
+            fatal("cannot open counters output '", cfg.countersCsvPath, "'");
+        registry.printCsv(os);
+    }
+}
+
+std::string
+Observer::summary() const
+{
+    std::ostringstream os;
+    os << ring.written() << " trace records captured, " << ring.size()
+       << " retained, " << ring.dropped() << " dropped";
+    if (!registry.series().empty()) {
+        std::size_t samples = 0;
+        for (const auto &s : registry.series())
+            samples = std::max(samples, s.samples.size());
+        os << "; " << registry.series().size() << " metrics x " << samples
+           << " samples";
+    }
+    return os.str();
+}
+
+} // namespace obs
+} // namespace neon

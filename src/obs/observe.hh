@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Harness-facing observability bundle.
+ *
+ * ObserveConfig rides inside ExperimentConfig so every runner (World,
+ * FleetWorld, ServeWorld, examples, benches) can switch tracing and
+ * metric sampling on with one config block. Observer owns the trace
+ * ring and metrics registry for one run, installs itself as the
+ * process trace sink for the run's lifetime (RAII — destruction
+ * deactivates every trace point again), and knows how to register the
+ * standard fleet/serve probes and write the configured outputs.
+ */
+
+#ifndef NEON_OBS_OBSERVE_HH
+#define NEON_OBS_OBSERVE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace neon
+{
+
+class FleetManager;
+class ServeEngine;
+
+namespace obs
+{
+
+/** Per-run observability configuration (ExperimentConfig::observe). */
+struct ObserveConfig
+{
+    /** Enabled trace categories (TraceCategory bits; 0 = no tracing). */
+    std::uint32_t categories = 0;
+
+    /** Trace ring capacity, in records (rounded up to a power of 2). */
+    std::size_t bufferCapacity = std::size_t(1) << 16;
+
+    /** Metric sampling cadence in virtual time (0 = no sampling). */
+    Tick samplePeriod = 0;
+
+    /** Chrome trace JSON output path (empty = don't write). */
+    std::string tracePath;
+
+    /** Counter time-series CSV output path (empty = don't write). */
+    std::string countersCsvPath;
+
+    /** Anything to do for this run? */
+    bool
+    enabled() const
+    {
+        return categories != 0 || samplePeriod > 0;
+    }
+};
+
+/** One run's observability state: trace ring + metrics + outputs. */
+class Observer
+{
+  public:
+    /** Installs the trace sink immediately (clocked by @p eq). */
+    Observer(EventQueue &eq, const ObserveConfig &cfg);
+
+    /** Uninstalls the trace sink. */
+    ~Observer();
+
+    Observer(const Observer &) = delete;
+    Observer &operator=(const Observer &) = delete;
+
+    TraceRecorder &recorder() { return ring; }
+    MetricsRegistry &metrics() { return registry; }
+    const ObserveConfig &config() const { return cfg; }
+
+    /**
+     * Register the standard per-device probes: devN.queue_depth (live
+     * tasks), devN.norm_vtime_ms (speed-normalized DFQ virtual time),
+     * fleet.vtime_lag_ms (max-min normalized spread), and eq.executed.
+     */
+    void attachFleet(FleetManager &fleet);
+
+    /**
+     * Register serving-layer probes: serve.queue_len (admission queue)
+     * and serve.live_sessions.
+     */
+    void attachServe(ServeEngine &engine);
+
+    /** Begin the sampling cadence (no-op when samplePeriod == 0). */
+    void start();
+
+    /** Write the configured trace JSON / counters CSV outputs. */
+    void writeOutputs();
+
+    /** One-line capture summary ("N records, M dropped, ..."). */
+    std::string summary() const;
+
+  private:
+    EventQueue &eq;
+    ObserveConfig cfg;
+    TraceRecorder ring;
+    MetricsRegistry registry;
+};
+
+} // namespace obs
+} // namespace neon
+
+#endif // NEON_OBS_OBSERVE_HH

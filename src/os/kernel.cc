@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "gpu/context.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace neon
@@ -15,6 +16,9 @@ KernelModule::KernelModule(EventQueue &eq, GpuDevice &device,
     : eq(eq), dev(device), cost(costs), policy(policy), poller(eq)
 {
     poller.onPoll = [this](Tick now) {
+        NEON_TRACE(obs::TraceCategory::Kernel, obs::TraceKind::Instant,
+                   "kern.poll", obs::TraceIds{deviceIndex(), -1, -1},
+                   activeList.size(), parked.size());
         if (sched)
             sched->onPoll(now);
     };
@@ -65,6 +69,9 @@ KernelModule::killTask(Task &t, const std::string &reason)
 
     inform("killing task ", t.name(), " (pid ", t.pid(), "): ", reason);
     ++kills;
+    NEON_TRACE(obs::TraceCategory::Kernel, obs::TraceKind::Instant,
+               "kern.kill", obs::TraceIds{deviceIndex(), t.pid(), -1},
+               t.channels().size(), 0);
 
     parked.erase(t.pid());
     t.kill();
@@ -102,6 +109,9 @@ KernelModule::retireTask(Task &t)
     if (t.killed())
         return;
 
+    NEON_TRACE(obs::TraceCategory::Kernel, obs::TraceKind::Instant,
+               "kern.retire", obs::TraceIds{deviceIndex(), t.pid(), -1},
+               t.channels().size(), 0);
     parked.erase(t.pid());
     t.retire(); // no-op when the body already finished
 
@@ -188,9 +198,18 @@ KernelModule::openChannel(Task &t, RequestClass cls, GpuContext *ctx)
 
         if (st == ChannelTracker::ChannelState::Active) {
             activeList.push_back(c);
+            NEON_TRACE(obs::TraceCategory::Kernel, obs::TraceKind::Instant,
+                       "kern.chan_active",
+                       obs::TraceIds{deviceIndex(), t.pid(), -1}, c->id(),
+                       activeList.size());
             if (sched)
                 sched->onChannelActive(*c);
         }
+    } else {
+        NEON_TRACE(obs::TraceCategory::Kernel, obs::TraceKind::Instant,
+                   "kern.chan_reject",
+                   obs::TraceIds{deviceIndex(), t.pid(), -1},
+                   static_cast<int>(result), 0);
     }
 
     // Deliver the outcome after the syscall+mmap cost.
@@ -212,6 +231,9 @@ KernelModule::closeChannel(Task &t, Channel *c)
     if (c->busyOnDevice() || !c->ring().empty())
         dev.abortChannel(*c);
 
+    NEON_TRACE(obs::TraceCategory::Kernel, obs::TraceKind::Instant,
+               "kern.chan_close", obs::TraceIds{deviceIndex(), t.pid(), -1},
+               c->id(), 0);
     chanTracker.forget(c->id());
     channelRegistry.erase(c->id());
     std::erase(activeList, c);
@@ -238,6 +260,9 @@ KernelModule::findChannel(int id) const
 void
 KernelModule::protectAll()
 {
+    NEON_TRACE(obs::TraceCategory::Kernel, obs::TraceKind::Instant,
+               "kern.protect_all", obs::TraceIds{deviceIndex(), -1, -1},
+               activeList.size(), 0);
     for (Channel *c : activeList)
         protectChannel(*c);
 }
@@ -247,6 +272,10 @@ KernelModule::submitDoorbell(Task &t, Channel &c, GpuRequest req)
 {
     if (c.doorbell().present()) {
         c.doorbell().noteDirectWrite();
+        NEON_TRACE(obs::TraceCategory::Kernel, obs::TraceKind::Instant,
+                   "kern.doorbell_direct",
+                   obs::TraceIds{deviceIndex(), t.pid(), -1}, c.id(),
+                   req.ref);
         const int cid = c.id();
         Task *tp = &t;
         // Hot path: one of these runs per direct submission; the
@@ -268,6 +297,10 @@ KernelModule::submitDoorbell(Task &t, Channel &c, GpuRequest req)
 
     const FaultDecision d = sched->onSubmitFault(t, c, req);
     if (d == FaultDecision::Allow) {
+        NEON_TRACE(obs::TraceCategory::Kernel, obs::TraceKind::Instant,
+                   "kern.doorbell_allow",
+                   obs::TraceIds{deviceIndex(), t.pid(), -1}, c.id(),
+                   req.ref);
         const Tick cost_now = cost.faultPath(c.ring().size());
         const int cid = c.id();
         Task *tp = &t;
@@ -277,6 +310,10 @@ KernelModule::submitDoorbell(Task &t, Channel &c, GpuRequest req)
         static_assert(EventCallback::fitsInline<decltype(deliver)>);
         eq.scheduleIn(cost_now, std::move(deliver));
     } else {
+        NEON_TRACE(obs::TraceCategory::Kernel, obs::TraceKind::Instant,
+                   "kern.doorbell_park",
+                   obs::TraceIds{deviceIndex(), t.pid(), -1}, c.id(),
+                   req.ref);
         parked[t.pid()] = {c.id(), req};
     }
 }
@@ -301,6 +338,10 @@ KernelModule::releaseParked(Task &t)
     if (!c)
         return;
 
+    NEON_TRACE(obs::TraceCategory::Kernel, obs::TraceKind::Instant,
+               "kern.release_parked",
+               obs::TraceIds{deviceIndex(), t.pid(), -1}, ps.channelId,
+               ps.req.ref);
     const Tick when = cost.faultPath(c->ring().size()) + cost.parkedRelease;
     Task *tp = &t;
     auto deliver = [this, tp, cid = ps.channelId, req = ps.req] {

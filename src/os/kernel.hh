@@ -56,6 +56,9 @@ class KernelModule
 
     EventQueue &eventQueue() { return eq; }
     GpuDevice &device() { return dev; }
+
+    /** Fleet position of the backing device (trace records). */
+    std::int16_t deviceIndex() const { return dev.deviceIndex(); }
     const CostModel &costs() const { return cost; }
     PollingService &polling() { return poller; }
     ChannelTracker &tracker() { return chanTracker; }

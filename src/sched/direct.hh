@@ -10,6 +10,7 @@
 #ifndef NEON_SCHED_DIRECT_HH
 #define NEON_SCHED_DIRECT_HH
 
+#include "obs/trace.hh"
 #include "os/kernel.hh"
 #include "os/scheduler.hh"
 
@@ -27,6 +28,11 @@ class DirectScheduler : public Scheduler
     void
     onChannelActive(Channel &c) override
     {
+        NEON_TRACE(obs::TraceCategory::Sched, obs::TraceKind::Instant,
+                   "direct.unprotect",
+                   obs::TraceIds{kernel.deviceIndex(),
+                                 c.context().taskId(), -1},
+                   c.id(), 0);
         kernel.unprotectChannel(c);
     }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace neon
@@ -246,6 +247,9 @@ DisengagedFairQueueing::enterFreeRun(Tick length)
     curPhase = Phase::FreeRun;
     freeRunLen = length;
     intervalStart = kernel.eventQueue().now();
+    NEON_TRACE(obs::TraceCategory::Sched, obs::TraceKind::Begin,
+               "dfq.free_run", obs::TraceIds{kernel.deviceIndex(), -1, -1},
+               length, nEpisodes);
 
     for (auto &kv : taskStates) {
         kv.second.intervalCompletions = 0;
@@ -272,6 +276,9 @@ void
 DisengagedFairQueueing::episodeBegin()
 {
     episodeTimer = invalidEventId;
+    NEON_TRACE(obs::TraceCategory::Sched, obs::TraceKind::End,
+               "dfq.free_run", obs::TraceIds{kernel.deviceIndex(), -1, -1},
+               0, 0);
     if (kernel.activeChannels().empty()) {
         curPhase = Phase::Idle;
         return;
@@ -280,6 +287,9 @@ DisengagedFairQueueing::episodeBegin()
     ++nEpisodes;
     curPhase = Phase::Draining;
     episodeStart = drainStart = kernel.eventQueue().now();
+    NEON_TRACE(obs::TraceCategory::Sched, obs::TraceKind::Begin,
+               "dfq.engage", obs::TraceIds{kernel.deviceIndex(), -1, -1},
+               kernel.activeChannels().size(), nEpisodes);
 
     // Barrier: every channel register is re-protected, then the status
     // update scan recovers last-submitted references so drain progress
@@ -296,6 +306,10 @@ DisengagedFairQueueing::beginSampling()
     curPhase = Phase::Sampling;
     samplingQueue.clear();
     sampledThisEpisode = 0;
+    NEON_TRACE(obs::TraceCategory::Sched, obs::TraceKind::Instant,
+               "dfq.begin_sampling",
+               obs::TraceIds{kernel.deviceIndex(), -1, -1},
+               drainEnd - drainStart, 0);
 
     for (Task *t : kernel.gpuTasks()) {
         TaskState &ts = stateOf(t->pid());
@@ -325,6 +339,9 @@ DisengagedFairQueueing::sampleNext()
 
         samplingPid = pid;
         ++sampledThisEpisode;
+        NEON_TRACE(obs::TraceCategory::Sched, obs::TraceKind::Begin,
+                   "dfq.sample",
+                   obs::TraceIds{kernel.deviceIndex(), pid, -1}, 0, 0);
         TaskState &ts = stateOf(pid);
         ts.sampleCount = 0;
         ts.sampleServiceSum = 0;
@@ -453,6 +470,11 @@ DisengagedFairQueueing::endSample()
         ts.duty = std::min(1.0, std::max(0.0, d));
     }
 
+    NEON_TRACE(obs::TraceCategory::Sched, obs::TraceKind::End,
+               "dfq.sample",
+               obs::TraceIds{kernel.deviceIndex(), samplingPid, -1},
+               ts.estSize, static_cast<std::int64_t>(ts.duty * 1000.0));
+
     const int drained_pid = samplingPid;
     samplingPid = -1;
 
@@ -579,8 +601,16 @@ DisengagedFairQueueing::decide()
         TaskState &ts = stateOf(t->pid());
         const bool deny = ts.vtime >= sysVtime + freeRunLen;
         ts.denied = deny;
+        NEON_TRACE(obs::TraceCategory::Sched, obs::TraceKind::Instant,
+                   "dfq.vtime",
+                   obs::TraceIds{kernel.deviceIndex(), t->pid(), -1},
+                   ts.vtime, deny ? 1 : 0);
         applyAccess(*t, deny);
     }
+
+    NEON_TRACE(obs::TraceCategory::Sched, obs::TraceKind::End,
+               "dfq.engage", obs::TraceIds{kernel.deviceIndex(), -1, -1},
+               sysVtime, contenders);
 
     enterFreeRun(freeRunLen);
 }

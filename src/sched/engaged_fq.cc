@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace neon
@@ -122,6 +123,9 @@ EngagedFairQueueing::dispatched(int pid, Tick start_tag)
     servingPid = pid;
     serviceBegan = kernel.eventQueue().now();
     sysV = std::max(sysV, start_tag);
+    NEON_TRACE(obs::TraceCategory::Sched, obs::TraceKind::Instant,
+               "efq.dispatch", obs::TraceIds{kernel.deviceIndex(), pid, -1},
+               start_tag, sysV);
 }
 
 void
@@ -131,6 +135,9 @@ EngagedFairQueueing::onCompletion(int pid, Tick service)
     ts.estSize = static_cast<Tick>(
         (1.0 - cfg.estimateGain) * static_cast<double>(ts.estSize) +
         cfg.estimateGain * static_cast<double>(service));
+    NEON_TRACE(obs::TraceCategory::Sched, obs::TraceKind::Instant,
+               "efq.complete", obs::TraceIds{kernel.deviceIndex(), pid, -1},
+               service, ts.estSize);
 
     if (pid == servingPid) {
         busy = false;

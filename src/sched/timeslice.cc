@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace neon
@@ -43,6 +44,9 @@ TimesliceScheduler::onTaskExited(Task &t)
         drainingTask = nullptr;
     if (tokenHolder == &t) {
         tokenHolder = nullptr;
+        NEON_TRACE(obs::TraceCategory::Sched, obs::TraceKind::End,
+                   "ts.slice",
+                   obs::TraceIds{kernel.deviceIndex(), t.pid(), -1}, 1, 0);
         if (sliceTimer != invalidEventId) {
             kernel.eventQueue().cancel(sliceTimer);
             sliceTimer = invalidEventId;
@@ -80,6 +84,9 @@ TimesliceScheduler::grant(Task &t)
     tokenHolder = &t;
     lastHolderPid = t.pid();
     sliceEnd = kernel.eventQueue().now() + cfg.slice;
+    NEON_TRACE(obs::TraceCategory::Sched, obs::TraceKind::Begin,
+               "ts.slice", obs::TraceIds{kernel.deviceIndex(), t.pid(), -1},
+               cfg.slice, overuseOf(t.pid()));
     // One timer per granted slice, for the lifetime of the run.
     auto expiry = [this] { sliceExpired(); };
     static_assert(EventCallback::fitsInline<decltype(expiry)>);
@@ -97,6 +104,9 @@ TimesliceScheduler::sliceExpired()
 
     Task *t = tokenHolder;
     tokenHolder = nullptr;
+    NEON_TRACE(obs::TraceCategory::Sched, obs::TraceKind::End,
+               "ts.slice",
+               obs::TraceIds{kernel.deviceIndex(), t->pid(), -1}, 0, 0);
     onRevoke(*t);
 
     drainingTask = t;
@@ -179,6 +189,10 @@ TimesliceScheduler::passToken()
         if (ou >= cfg.slice) {
             ou -= cfg.slice;
             ++nSkips;
+            NEON_TRACE(obs::TraceCategory::Sched, obs::TraceKind::Instant,
+                       "ts.skip_overuse",
+                       obs::TraceIds{kernel.deviceIndex(), cand->pid(), -1},
+                       ou, 0);
             continue;
         }
         grant(*cand);

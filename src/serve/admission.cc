@@ -1,5 +1,6 @@
 #include "serve/admission.hh"
 
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 namespace neon
@@ -37,12 +38,22 @@ AdmissionController::arrive(const QueuedRequest &req)
     if (liveCount < slots && pending.empty()) {
         noteLive(req.tenant);
         ++nDirect;
+        NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::Instant,
+                   "adm.admit_direct",
+                   obs::TraceIds{-1, -1,
+                                 static_cast<std::int32_t>(req.session)},
+                   liveCount, slots);
         return true;
     }
 
     pending.push_back(req);
     if (pending.size() > peakQueue)
         peakQueue = pending.size();
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::Instant,
+               "adm.enqueue",
+               obs::TraceIds{-1, -1,
+                             static_cast<std::int32_t>(req.session)},
+               pending.size(), liveCount);
     return false;
 }
 
@@ -66,6 +77,11 @@ AdmissionController::depart(const std::string &tenant)
     pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
     noteLive(out.tenant);
     ++nReleased;
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::Instant,
+               "adm.release",
+               obs::TraceIds{-1, -1,
+                             static_cast<std::int32_t>(out.session)},
+               pending.size(), 0);
     return out;
 }
 

@@ -1,5 +1,6 @@
 #include "serve/global_clock.hh"
 
+#include "obs/trace.hh"
 #include "sched/vtime_tap.hh"
 
 namespace neon
@@ -60,8 +61,16 @@ MigrationPlan
 GlobalVirtualClock::checkMigration(Tick lag_threshold,
                                    std::size_t min_tasks) const
 {
-    return planMigration(sample(), lag_threshold, min_tasks,
-                         slotsPerDevice);
+    const MigrationPlan plan = planMigration(
+        sample(), lag_threshold, min_tasks, slotsPerDevice);
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::Instant,
+               "clock.lag_check",
+               obs::TraceIds{plan.migrate
+                                 ? static_cast<std::int16_t>(plan.from)
+                                 : std::int16_t(-1),
+                             -1, -1},
+               plan.lag, plan.migrate ? 1 : 0);
+    return plan;
 }
 
 std::size_t

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.hh"
 #include "sched/vtime_tap.hh"
 #include "sim/logging.hh"
 
@@ -85,6 +86,11 @@ ServeEngine::onArrival(std::size_t cls)
     if (nLive > peakLive)
         peakLive = nLive;
 
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::AsyncBegin,
+               "session",
+               obs::TraceIds{-1, -1, static_cast<std::int32_t>(sid)},
+               cls, nLive);
+
     QueuedRequest qr;
     qr.session = sid;
     qr.tenant = sessions[sid]->tenant;
@@ -119,6 +125,15 @@ ServeEngine::admitSession(std::uint64_t sid)
     s.device = fleet.deviceOf(*t);
     s.devices.push_back(s.device);
     byTask[t] = sid;
+
+    const obs::TraceIds admit_ids{static_cast<std::int16_t>(s.device),
+                                  t->pid(),
+                                  static_cast<std::int32_t>(sid)};
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::Instant,
+               "serve.admit", admit_ids, s.admitted - s.arrived, 0);
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::FlowStart,
+               "session.flow", admit_ids, 0, 0);
+
     startBody(s);
 
     if (c.lifetime.finite()) {
@@ -154,6 +169,17 @@ ServeEngine::onDeparture(std::uint64_t sid)
     if (s.task && s.task->killed())
         return; // same-tick kill: finalizeKill owns this session
 
+    {
+        const obs::TraceIds depart_ids{static_cast<std::int16_t>(s.device),
+                                       s.task->pid(),
+                                       static_cast<std::int32_t>(sid)};
+        NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::Instant,
+                   "serve.depart", depart_ids, eq.now() - s.arrived, 0);
+        NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::FlowEnd,
+                   "session.flow", depart_ids, 0, 0);
+        NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::AsyncEnd,
+                   "session", depart_ids, 0, 0);
+    }
     byTask.erase(s.task);
     // Retire first: aborting an in-flight request charges its device
     // occupancy to this pid, and the snapshot must include it.
@@ -176,6 +202,18 @@ ServeEngine::finalizeKill(std::uint64_t sid)
     if (s.done)
         return;
 
+    {
+        const obs::TraceIds kill_ids{static_cast<std::int16_t>(s.device),
+                                     s.task ? s.task->pid() : -1,
+                                     static_cast<std::int32_t>(sid)};
+        NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::Instant,
+                   "serve.session_killed", kill_ids, eq.now() - s.arrived,
+                   0);
+        NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::FlowEnd,
+                   "session.flow", kill_ids, 0, 0);
+        NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::AsyncEnd,
+                   "session", kill_ids, 0, 0);
+    }
     endIncarnation(s);
     byTask.erase(s.task);
     eq.cancel(s.departureEv);
@@ -247,13 +285,17 @@ ServeEngine::tryMigrate()
     SessionRecord *victim = nullptr;
     Tick victim_v = 0;
     // byTask holds exactly the live incarnations, so this scan is
-    // O(placed sessions), not O(sessions ever created).
+    // O(placed sessions), not O(sessions ever created). byTask is
+    // keyed by task address, so vtime ties must break on the session
+    // id — address order varies with heap layout and would make the
+    // pick depend on unrelated allocations (e.g. tracing being on).
     for (const auto &kv : byTask) {
         SessionRecord &s = *sessions[kv.second];
         if (s.done || s.device != plan.from || !s.task->alive())
             continue;
         const Tick v = tap ? tap->tapTaskVtime(s.task->pid()) : 0;
-        if (!victim || v > victim_v) {
+        if (!victim || v > victim_v ||
+            (v == victim_v && s.id < victim->id)) {
             victim = &s;
             victim_v = v;
         }
@@ -272,6 +314,15 @@ ServeEngine::tryMigrate()
     ++victim->migrations;
     ++nMigrations;
     byTask[&nt] = victim->id;
+
+    const obs::TraceIds mig_ids{static_cast<std::int16_t>(plan.to),
+                                nt.pid(),
+                                static_cast<std::int32_t>(victim->id)};
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::Instant,
+               "serve.migrate", mig_ids, plan.from, plan.to);
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::FlowStep,
+               "session.flow", mig_ids, plan.lag, 0);
+
     startBody(*victim);
     // The session's departure event is untouched: lifetime is wall
     // time in the system, not time on any one device.

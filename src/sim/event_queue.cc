@@ -36,6 +36,8 @@ EventQueue::carve()
     batch.swap(heap);
     std::sort(batch.begin(), batch.end(),
               [](const Entry &a, const Entry &b) { return earlier(b, a); });
+    NEON_TRACE(obs::TraceCategory::SimCore, obs::TraceKind::Instant,
+               "eq.carve", obs::TraceIds{}, batch.size(), nStale);
 }
 
 void
@@ -47,6 +49,9 @@ EventQueue::compact()
     // remove_if preserves relative order, so the batch stays sorted.
     batch.erase(std::remove_if(batch.begin(), batch.end(), stale),
                 batch.end());
+    NEON_TRACE(obs::TraceCategory::SimCore, obs::TraceKind::Instant,
+               "eq.compact", obs::TraceIds{}, nStale,
+               heap.size() + batch.size());
     nStale = 0;
     ++nCompactions;
 

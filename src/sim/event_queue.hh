@@ -39,6 +39,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "sim/inline_function.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -181,6 +182,8 @@ class EventQueue
             panic("event time ran backwards");
         curTick = e.when;
         ++nExecuted;
+        NEON_TRACE(obs::TraceCategory::SimCore, obs::TraceKind::Instant,
+                   "eq.step", obs::TraceIds{}, nLive, nStale);
         fn();
         return true;
     }

@@ -36,4 +36,25 @@ setVerbose(bool on)
     logging_detail::verbose = on;
 }
 
+bool
+verboseEnabled()
+{
+    return logging_detail::verbose;
+}
+
+bool
+applyVerboseEnv()
+{
+    if (const char *env = std::getenv("NEON_VERBOSE")) {
+        const std::string v(env);
+        if (v == "1" || v == "true" || v == "yes" || v == "on")
+            logging_detail::verbose = true;
+        else if (v == "0" || v == "false" || v == "no" || v == "off")
+            logging_detail::verbose = false;
+        else
+            warn("unrecognized NEON_VERBOSE value '", v, "' ignored");
+    }
+    return logging_detail::verbose;
+}
+
 } // namespace neon

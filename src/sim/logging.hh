@@ -82,6 +82,17 @@ inform(Args &&...args)
 /** Enable/disable inform() output (tests and benches keep it off). */
 void setVerbose(bool on);
 
+/** Current inform() verbosity. */
+bool verboseEnabled();
+
+/**
+ * Apply the NEON_VERBOSE environment variable ("1"/"true"/"yes"/"on"
+ * enables, "0"/"false"/"no"/"off" disables, unset leaves the current
+ * setting). Examples call this so users can flip status output without
+ * editing code. Returns the resulting verbosity.
+ */
+bool applyVerboseEnv();
+
 } // namespace neon
 
 #endif // NEON_SIM_LOGGING_HH

@@ -56,5 +56,37 @@ TEST(TableNum, FixedPrecision)
     EXPECT_EQ(Table::num(0.5, 1), "0.5");
 }
 
+TEST(TableNum, SignificantDigits)
+{
+    EXPECT_EQ(Table::num(3.14159, 3, Table::Digits::Significant), "3.14");
+    EXPECT_EQ(Table::num(12345.6, 3, Table::Digits::Significant),
+              "1.23e+04");
+    EXPECT_EQ(Table::num(0.000123456, 3, Table::Digits::Significant),
+              "0.000123");
+    // Fixed mode would print 0.00 here; significant keeps the signal.
+    EXPECT_EQ(Table::num(0.000123456, 2), "0.00");
+}
+
+TEST(Table, PrintCsvEscapesOnlyWhenNeeded)
+{
+    Table t({"name", "value", "note"});
+    t.addRow({"alpha", "1.5", "plain"});
+    t.addRow({"beta", "2.5", "has,comma"});
+    t.addRow({"gamma", "3.5", "has\"quote"});
+
+    std::ostringstream os;
+    t.printCsv(os);
+    std::istringstream is(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line, "name,value,note");
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line, "alpha,1.5,plain");
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line, "beta,2.5,\"has,comma\"");
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line, "gamma,3.5,\"has\"\"quote\"");
+}
+
 } // namespace
 } // namespace neon

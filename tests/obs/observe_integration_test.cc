@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Acceptance tests for the observability plane on the PR-4 open-system
+ * serving scenario: a traced oversubscribed run over a heterogeneous
+ * DFQ fleet must yield a Chrome timeline with engage/disengage spans
+ * on every device track, session flow events spanning a migration,
+ * and counter tracks for queue depth and virtual-time lag — and
+ * switching tracing on must not change the simulation's results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "harness/serve_runner.hh"
+#include "obs/chrome_trace.hh"
+
+namespace neon
+{
+namespace
+{
+
+using namespace obs;
+
+/** The serve_integration scenario: guaranteed queueing + migration. */
+ExperimentConfig
+scenarioConfig()
+{
+    ExperimentConfig cfg;
+    cfg.sched = SchedKind::DisengagedFq;
+    cfg.fleet.devices = 4;
+    cfg.fleet.speedFactors = {1.25, 1.0, 1.0, 0.75};
+    cfg.serve.slotsPerDevice = 2;
+    cfg.serve.admission = AdmissionKind::Fifo;
+    cfg.serve.useGlobalClock = true;
+    cfg.serve.clockPeriod = msec(10);
+    cfg.serve.migrationLag = msec(10);
+    cfg.serve.migrationMinTasks = 2;
+    cfg.measure = sec(4);
+    return cfg;
+}
+
+std::vector<ServeWorkloadSpec>
+scenarioClasses()
+{
+    WorkloadSpec w = WorkloadSpec::throttle(usec(430));
+    w.label = "open";
+    return {{w, ArrivalSpec::poisson(100.0, sec(1.2)),
+             LifetimeSpec::fixed(msec(250))}};
+}
+
+TEST(ObserveIntegration, TracedServeRunProducesCompleteTimeline)
+{
+    ExperimentConfig cfg = scenarioConfig();
+    cfg.observe.categories = defaultTraceCategories;
+    cfg.observe.bufferCapacity = std::size_t(1) << 18;
+    cfg.observe.samplePeriod = msec(5);
+
+    ServeWorld world(cfg, scenarioClasses());
+    world.start();
+    world.runFor(cfg.measure);
+    const ServeRunResult r = world.results();
+    ASSERT_NE(world.observer, nullptr);
+    ASSERT_GE(r.migrations, 1u) << "scenario must migrate to be a "
+                                   "meaningful flow-event test";
+
+    const auto records = world.observer->recorder().snapshot();
+    ASSERT_FALSE(records.empty());
+    const ChromeTimeline tl = buildChromeEvents(records);
+
+    // Timestamps are non-decreasing per track (Chrome requirement).
+    std::map<std::pair<std::uint32_t, std::uint32_t>, double> last;
+    for (const auto &e : tl.events) {
+        auto [it, fresh] = last.try_emplace({e.pid, e.tid}, e.ts);
+        if (!fresh) {
+            ASSERT_GE(e.ts, it->second) << e.name;
+            it->second = e.ts;
+        }
+    }
+
+    // Every device track carries at least one complete engage span
+    // (the B and the E of dfq.engage) and at least one free-run span.
+    for (std::uint32_t dev = 0; dev < 4; ++dev) {
+        const std::uint32_t pid = dev + 1;
+        std::size_t engage_b = 0, engage_e = 0, freerun_b = 0;
+        for (const auto &e : tl.events) {
+            if (e.pid != pid)
+                continue;
+            engage_b += e.ph == 'B' && e.name == "dfq.engage";
+            engage_e += e.ph == 'E' && e.name == "dfq.engage";
+            freerun_b += e.ph == 'B' && e.name == "dfq.free_run";
+        }
+        EXPECT_GE(engage_b, 1u) << "device " << dev;
+        EXPECT_GE(engage_e, 1u) << "device " << dev;
+        EXPECT_GE(freerun_b, 1u) << "device " << dev;
+    }
+
+    // At least one session's flow arrow spans two device tracks: the
+    // FlowStep emitted at migration lands on a different pid than the
+    // session's FlowStart at admission.
+    std::map<std::int64_t, std::set<std::uint32_t>> flow_pids;
+    for (const auto &e : tl.events) {
+        if (e.ph == 's' || e.ph == 't' || e.ph == 'f')
+            flow_pids[e.id].insert(e.pid);
+    }
+    bool crossed = false;
+    for (const auto &[sid, pids] : flow_pids)
+        crossed = crossed || pids.size() >= 2;
+    EXPECT_TRUE(crossed) << "no session flow spans a migration";
+
+    // Counter tracks exist for per-device queue depth and fleet-wide
+    // virtual-time lag, with at least a few samples each.
+    std::map<std::string, std::size_t> counter_samples;
+    for (const auto &e : tl.events) {
+        if (e.ph == 'C')
+            ++counter_samples[e.name];
+    }
+    EXPECT_GE(counter_samples["dev0.queue_depth"], 3u);
+    EXPECT_GE(counter_samples["fleet.vtime_lag_ms"], 3u);
+    EXPECT_GE(counter_samples["serve.queue_len"], 3u);
+
+    // Session lifecycle: async begin/end pairs on the sessions lane.
+    std::size_t async_b = 0, async_e = 0;
+    for (const auto &e : tl.events) {
+        async_b += e.ph == 'b';
+        async_e += e.ph == 'e';
+    }
+    EXPECT_GE(async_b, r.departures > 0 ? 1u : 0u);
+    EXPECT_GE(async_e, 1u);
+
+    // The serialized timeline is structurally sound JSON (the CI step
+    // re-validates a real run with python -m json.tool).
+    std::ostringstream os;
+    writeChromeTrace(os, tl);
+    const std::string out = os.str();
+    int depth = 0;
+    bool in_string = false, escaped = false;
+    for (char c : out) {
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']')
+            --depth;
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(in_string);
+    EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ObserveIntegration, TracingDoesNotPerturbSimulationResults)
+{
+    const auto classes = scenarioClasses();
+
+    ExperimentConfig plain_cfg = scenarioConfig();
+    ServeWorld plain(plain_cfg, classes);
+    plain.start();
+    plain.runFor(plain_cfg.measure);
+    const ServeRunResult a = plain.results();
+
+    ExperimentConfig traced_cfg = scenarioConfig();
+    traced_cfg.observe.categories = allTraceCategories;
+    traced_cfg.observe.bufferCapacity = std::size_t(1) << 14; // wraps
+    traced_cfg.observe.samplePeriod = msec(2);
+    ServeWorld traced(traced_cfg, classes);
+    traced.start();
+    traced.runFor(traced_cfg.measure);
+    const ServeRunResult b = traced.results();
+
+    // The traced world really captured something (and wrapped).
+    ASSERT_NE(traced.observer, nullptr);
+    EXPECT_GT(traced.observer->recorder().written(), 0u);
+    EXPECT_GT(traced.observer->recorder().dropped(), 0u);
+
+    // Identical simulation outcomes: tracing only observes.
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.departures, b.departures);
+    EXPECT_EQ(a.kills, b.kills);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    ASSERT_EQ(a.deviceBusy.size(), b.deviceBusy.size());
+    for (std::size_t i = 0; i < a.deviceBusy.size(); ++i)
+        EXPECT_EQ(a.deviceBusy[i], b.deviceBusy[i]);
+    ASSERT_EQ(a.sessions.size(), b.sessions.size());
+    for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+        EXPECT_EQ(a.sessions[i].arrived, b.sessions[i].arrived);
+        EXPECT_EQ(a.sessions[i].admitted, b.sessions[i].admitted);
+        EXPECT_EQ(a.sessions[i].departed, b.sessions[i].departed);
+        EXPECT_EQ(a.sessions[i].requests, b.sessions[i].requests);
+        EXPECT_EQ(a.sessions[i].migrations, b.sessions[i].migrations);
+    }
+}
+
+} // namespace
+} // namespace neon

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the logging verbosity controls and the NEON_VERBOSE
+ * environment hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace neon
+{
+namespace
+{
+
+/** Restore the pre-test verbosity and environment on exit. */
+struct VerboseGuard
+{
+    bool saved = verboseEnabled();
+    ~VerboseGuard()
+    {
+        unsetenv("NEON_VERBOSE");
+        setVerbose(saved);
+    }
+};
+
+TEST(Logging, SetVerboseRoundTrips)
+{
+    VerboseGuard guard;
+    setVerbose(true);
+    EXPECT_TRUE(verboseEnabled());
+    setVerbose(false);
+    EXPECT_FALSE(verboseEnabled());
+}
+
+TEST(Logging, ApplyVerboseEnvHonorsTruthyAndFalsyValues)
+{
+    VerboseGuard guard;
+
+    setVerbose(false);
+    setenv("NEON_VERBOSE", "1", 1);
+    EXPECT_TRUE(applyVerboseEnv());
+    EXPECT_TRUE(verboseEnabled());
+
+    setenv("NEON_VERBOSE", "off", 1);
+    EXPECT_FALSE(applyVerboseEnv());
+
+    setenv("NEON_VERBOSE", "yes", 1);
+    EXPECT_TRUE(applyVerboseEnv());
+
+    setenv("NEON_VERBOSE", "0", 1);
+    EXPECT_FALSE(applyVerboseEnv());
+}
+
+TEST(Logging, ApplyVerboseEnvLeavesSettingWhenUnsetOrUnknown)
+{
+    VerboseGuard guard;
+
+    unsetenv("NEON_VERBOSE");
+    setVerbose(true);
+    EXPECT_TRUE(applyVerboseEnv());
+    setVerbose(false);
+    EXPECT_FALSE(applyVerboseEnv());
+
+    // Unrecognized values warn but change nothing.
+    setVerbose(true);
+    setenv("NEON_VERBOSE", "maybe", 1);
+    EXPECT_TRUE(applyVerboseEnv());
+}
+
+} // namespace
+} // namespace neon
