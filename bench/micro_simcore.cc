@@ -62,6 +62,18 @@ BM_OpenSystemChurn(benchmark::State &state)
 BENCHMARK(BM_OpenSystemChurn);
 
 void
+BM_OpenSystemFaulty(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        benchmark::DoNotOptimize(
+            neonbench::openSystemFaultyBatch(eq, 1024));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * 1024);
+}
+BENCHMARK(BM_OpenSystemFaulty);
+
+void
 BM_DeviceRequestThroughput(benchmark::State &state)
 {
     for (auto _ : state) {

@@ -217,6 +217,10 @@ main(int argc, char **argv)
     const CaseResult churn_serve = timeCase(minS, [](EventQueue &eq) {
         return neonbench::openSystemChurnBatch(eq, batchN);
     });
+    std::cerr << "running open_system_faulty...\n";
+    const CaseResult faulty = timeCase(minS, [](EventQueue &eq) {
+        return neonbench::openSystemFaultyBatch(eq, batchN);
+    });
     // Same workload with per-event SimCore tracing live, so the report
     // tracks what switching the trace plane on costs the hot loop. The
     // CI floor applies to the untraced case only.
@@ -250,6 +254,7 @@ main(int argc, char **argv)
     emitCase(os, "schedule_cancel_churn", churn);
     emitCase(os, "fleet_interleave", fleet);
     emitCase(os, "open_system_churn", churn_serve);
+    emitCase(os, "open_system_faulty", faulty);
     emitCase(os, "open_system_churn_traced", churn_traced, /*last=*/true);
     os << "  },\n"
        << "  \"end_to_end_dfq\": {\n"
@@ -280,6 +285,8 @@ main(int argc, char **argv)
               << "fleet_interleave:      " << fleet.itemsPerSec
               << " events/s\n"
               << "open_system_churn:     " << churn_serve.itemsPerSec
+              << " events/s\n"
+              << "open_system_faulty:    " << faulty.itemsPerSec
               << " events/s\n"
               << "  ... tracing on:      " << churn_traced.itemsPerSec
               << " events/s (" << trace_ring.dropped() << " dropped)\n"

@@ -157,6 +157,115 @@ openSystemChurnBatch(neon::EventQueue &eq, int sessions)
     return eq.drain();
 }
 
+/**
+ * The fault-tolerant serving shape (src/fault + serve retry): open-
+ * system churn over grouped slot pools ("devices") with a periodic
+ * fault cycle. A fault takes one group down, bumps its generation —
+ * invalidating the in-flight departures of its residents, which
+ * re-enter placement through capped exponential backoff — and a later
+ * event repairs it. The event-core footprint of a faulty serving run:
+ * arrivals, departures, eviction re-queues, backoff timers, and
+ * down/up transitions on one timeline. Returns the number of events
+ * executed.
+ */
+inline std::uint64_t
+openSystemFaultyBatch(neon::EventQueue &eq, int sessions)
+{
+    struct System
+    {
+        enum { groups = 4, groupSlots = 2 }; // local classes: no statics
+
+        neon::EventQueue *eq = nullptr;
+        neon::Rng rng{0xfa017ull};
+        int live[groups] = {};
+        int gen[groups] = {};
+        bool up[groups] = {};
+        int remaining = 0;
+        int faultsLeft = 0;
+        int nextVictim = 0;
+        std::uint64_t served = 0;
+        std::uint64_t interrupted = 0;
+
+        void
+        scheduleArrival()
+        {
+            if (remaining-- <= 0)
+                return;
+            const neon::Tick gap =
+                static_cast<neon::Tick>(rng.next() % 700);
+            eq->scheduleIn(gap, [this] {
+                place(0);
+                scheduleArrival();
+            });
+        }
+
+        void
+        place(int retries)
+        {
+            // Least-loaded up group, like the fleet's placement skipping
+            // down devices.
+            int g = -1;
+            for (int i = 0; i < groups; ++i) {
+                if (up[i] && live[i] < groupSlots &&
+                    (g < 0 || live[i] < live[g]))
+                    g = i;
+            }
+            if (g < 0) {
+                const int shift = retries < 6 ? retries : 6;
+                const neon::Tick backoff = neon::Tick(100) << shift;
+                const int next = retries + 1;
+                eq->scheduleIn(backoff, [this, next] { place(next); });
+                return;
+            }
+            ++live[g];
+            const int mygen = gen[g];
+            const neon::Tick service =
+                800 + static_cast<neon::Tick>(rng.next() % 1024);
+            eq->scheduleIn(service,
+                           [this, g, mygen] { depart(g, mygen); });
+        }
+
+        void
+        depart(int g, int mygen)
+        {
+            if (mygen != gen[g])
+                return; // lost to a fault; the retry path re-placed it
+            --live[g];
+            ++served;
+        }
+
+        void
+        scheduleFault()
+        {
+            if (faultsLeft-- <= 0)
+                return;
+            eq->scheduleIn(1500, [this] {
+                const int g = nextVictim;
+                nextVictim = (nextVictim + 1) % groups;
+                up[g] = false;
+                ++gen[g];
+                const int victims = live[g];
+                live[g] = 0;
+                interrupted += static_cast<std::uint64_t>(victims);
+                for (int v = 0; v < victims; ++v)
+                    eq->scheduleIn(100, [this] { place(1); });
+                eq->scheduleIn(900, [this, g] { up[g] = true; });
+                scheduleFault();
+            });
+        }
+    };
+
+    System sys;
+    sys.eq = &eq;
+    for (int i = 0; i < System::groups; ++i)
+        sys.up[i] = true;
+    sys.remaining = sessions;
+    sys.faultsLeft = sessions / 8;
+    sys.scheduleArrival();
+    sys.scheduleFault();
+    return eq.drain();
+}
+
 } // namespace neonbench
 
 #endif // NEON_BENCH_SIMCORE_CASES_HH

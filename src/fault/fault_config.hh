@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Configuration for the fault-injection and recovery plane.
+ *
+ * Two independent halves: the *watchdog* (detection/protection — the
+ * paper's hung-channel kill, promoted to a periodic kernel service)
+ * and the *fault plan* (deterministic injection of device stalls,
+ * device deaths with exponential repair, and per-channel hangs). The
+ * plan draws from its own named RNG streams ("fault.plan",
+ * "fault.pick"), so enabling injection never perturbs arrival or
+ * service draws — a plan-empty run is bit-identical to a faults-off
+ * run.
+ */
+
+#ifndef NEON_FAULT_FAULT_CONFIG_HH
+#define NEON_FAULT_FAULT_CONFIG_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace neon
+{
+
+/** Watchdog service knobs (per device stack). */
+struct WatchdogConfig
+{
+    bool enabled = false;
+
+    /** Scan period of the doorbell-progress check. */
+    Tick checkPeriod = msec(5);
+
+    /**
+     * A channel with pending work whose completed-reference counter
+     * has not advanced for this long marks the engine's current
+     * occupant as hung. Detection latency is bounded by
+     * hangTimeout + checkPeriod.
+     */
+    Tick hangTimeout = msec(50);
+
+    /**
+     * A single request monopolizing an engine for this long is killed
+     * as a runaway even if it is the only tenant (no starved victim
+     * needed to notice it). 0 disables the runaway check.
+     */
+    Tick runawayTimeout = msec(150);
+};
+
+/** Kinds of injectable device-level faults. */
+enum class FaultKind
+{
+    DeviceStall,  ///< transient Degraded window; paused work resumes
+    DeviceDeath,  ///< device Down until repair; in-flight work lost
+    ChannelHang,  ///< one channel's (next) request becomes infinite
+};
+
+/** One scripted fault (also the unit the stochastic plan generates). */
+struct FaultEvent
+{
+    Tick at = 0;
+    FaultKind kind = FaultKind::DeviceStall;
+    std::size_t device = 0;
+
+    /** Stall length or death-to-repair delay; ignored for hangs. */
+    Tick duration = 0;
+};
+
+/** Stochastic-plus-scripted fault plan over a run horizon. */
+struct FaultPlanConfig
+{
+    /** Master switch for the stochastic generator. */
+    bool enabled = false;
+
+    /** Generation horizon; no stochastic fault lands after it. */
+    Tick horizon = 0;
+
+    /** Poisson rate of full device deaths, per device, per second. */
+    double deathRatePerSec = 0.0;
+
+    /** Mean of the exponential repair time after a death. */
+    Tick meanRepair = msec(200);
+
+    /** Poisson rate of transient stalls, per device, per second. */
+    double stallRatePerSec = 0.0;
+
+    /** Mean of the exponential stall duration. */
+    Tick meanStall = msec(5);
+
+    /** Poisson rate of channel-hang injections, per device, per second. */
+    double hangRatePerSec = 0.0;
+
+    /** Deterministic faults merged with the generated ones. */
+    std::vector<FaultEvent> script;
+
+    /** Anything to inject at all? */
+    bool
+    any() const
+    {
+        return !script.empty() ||
+            (enabled && horizon > 0 &&
+             (deathRatePerSec > 0.0 || stallRatePerSec > 0.0 ||
+              hangRatePerSec > 0.0));
+    }
+};
+
+/** The fault plane's full configuration. */
+struct FaultConfig
+{
+    WatchdogConfig watchdog;
+    FaultPlanConfig plan;
+};
+
+} // namespace neon
+
+#endif // NEON_FAULT_FAULT_CONFIG_HH

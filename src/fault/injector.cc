@@ -1,0 +1,99 @@
+#include "fault/injector.hh"
+
+#include "fault/fault_plan.hh"
+#include "fleet/fleet_manager.hh"
+#include "obs/trace.hh"
+#include "sim/event_queue.hh"
+
+namespace neon
+{
+
+FaultInjector::FaultInjector(EventQueue &eq, FleetManager &fleet,
+                             const FaultPlanConfig &cfg,
+                             std::uint64_t root_seed)
+    : eq(eq), fleet(fleet), cfg(cfg), rootSeed(root_seed),
+      pickRng(namedStream(root_seed, "fault.pick"))
+{
+}
+
+void
+FaultInjector::start()
+{
+    events = buildFaultPlan(cfg, fleet.deviceCount(), rootSeed);
+    for (const FaultEvent &ev : events) {
+        FaultEvent copy = ev;
+        eq.schedule(ev.at, [this, copy] { apply(copy); });
+    }
+}
+
+void
+FaultInjector::apply(const FaultEvent &ev)
+{
+    if (ev.device >= fleet.deviceCount()) {
+        ++nSkipped;
+        return;
+    }
+    DeviceStack &stack = fleet.stack(ev.device);
+    const auto dev_id = static_cast<std::int16_t>(ev.device);
+
+    switch (ev.kind) {
+      case FaultKind::DeviceDeath: {
+        if (stack.device.health() == DeviceHealth::Down) {
+            ++nSkipped; // stacked deaths: the first one owns the outage
+            return;
+        }
+        ++nDeaths;
+        NEON_TRACE(obs::TraceCategory::Fault, obs::TraceKind::AsyncBegin,
+                   "fault.outage", obs::TraceIds{dev_id, -1, -1},
+                   ev.duration, 0);
+        const std::size_t outage_idx = outageLog.size();
+        outageLog.push_back({ev.device, eq.now(), -1});
+        fleet.failDevice(ev.device);
+        eq.scheduleIn(ev.duration, [this, outage_idx] {
+            OutageRecord &o = outageLog[outage_idx];
+            o.upAt = eq.now();
+            ++nRepairs;
+            NEON_TRACE(obs::TraceCategory::Fault, obs::TraceKind::AsyncEnd,
+                       "fault.outage",
+                       obs::TraceIds{
+                           static_cast<std::int16_t>(o.device), -1, -1},
+                       o.upAt - o.downAt, 0);
+            fleet.repairDevice(o.device);
+        });
+        break;
+      }
+
+      case FaultKind::DeviceStall: {
+        if (stack.device.health() == DeviceHealth::Down) {
+            ++nSkipped; // a dead device cannot merely stutter
+            return;
+        }
+        ++nStalls;
+        stack.device.stall(ev.duration);
+        break;
+      }
+
+      case FaultKind::ChannelHang: {
+        const std::vector<Channel *> &chans =
+            stack.kernel.activeChannels();
+        if (stack.device.health() == DeviceHealth::Down ||
+            chans.empty()) {
+            ++nSkipped; // nothing to hang
+            return;
+        }
+        // Uniform victim pick from the dedicated stream; the active
+        // list is creation-ordered, so the pick is deterministic.
+        Channel *victim = chans[static_cast<std::size_t>(
+            pickRng.uniformInt(0,
+                               static_cast<std::int64_t>(chans.size()) -
+                                   1))];
+        ++nHangs;
+        hangLog.push_back(
+            {ev.device, victim->context().taskId(), eq.now(), false});
+        stack.device.injectHang(*victim);
+        break;
+      }
+    }
+}
+
+} // namespace neon

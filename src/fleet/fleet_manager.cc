@@ -21,6 +21,7 @@ FleetManager::FleetManager(EventQueue &eq, const FleetConfig &cfg,
 
     liveTasksPerDevice.assign(cfg.devices, 0);
     liveDemandPerDevice.assign(cfg.devices, 0.0);
+    deviceUp_.assign(cfg.devices, 1);
     stacks.reserve(cfg.devices);
     for (std::size_t i = 0; i < cfg.devices; ++i) {
         DeviceConfig dcfg = device_template;
@@ -40,6 +41,9 @@ FleetManager::emplaceTask(std::size_t device, const PlacementRequest &req)
     if (device >= stacks.size())
         panic("fleet: placement chose device ", device, " of ",
               stacks.size());
+    if (!deviceUp_[device])
+        panic("fleet: placing task ", req.label, " on down device ",
+              device);
 
     auto task =
         std::make_unique<Task>(stacks[device]->kernel, req.label);
@@ -168,6 +172,115 @@ FleetManager::start()
 {
     for (auto &s : stacks)
         s->kernel.start();
+    for (auto &w : watchdogs)
+        w->start();
+}
+
+void
+FleetManager::failDevice(std::size_t i)
+{
+    if (i >= stacks.size())
+        panic("fleet: failing device ", i, " of ", stacks.size());
+    if (!deviceUp_[i])
+        return;
+    deviceUp_[i] = 0;
+
+    NEON_TRACE(obs::TraceCategory::Fault, obs::TraceKind::Instant,
+               "fleet.device_down",
+               obs::TraceIds{static_cast<std::int16_t>(i), -1, -1},
+               liveTasksPerDevice[i], 0);
+
+    // Lose in-flight work first (charging partial occupancy), then let
+    // the serve layer shrink its capacity before any eviction can
+    // release a queued session toward the dead device.
+    stacks[i]->device.forceDown();
+    if (onDeviceDown)
+        onDeviceDown(i);
+
+    // Snapshot the victims: eviction handling may create replacement
+    // tasks, growing `placed` and invalidating iterators.
+    std::vector<Task *> victims;
+    for (const Placed &p : placed) {
+        if (p.live && p.device == i)
+            victims.push_back(p.task.get());
+    }
+    for (Task *t : victims) {
+        if (t->killed())
+            continue;
+        if (onTaskEvicted)
+            onTaskEvicted(*t);
+        else
+            retireTask(*t);
+    }
+}
+
+void
+FleetManager::repairDevice(std::size_t i)
+{
+    if (i >= stacks.size())
+        panic("fleet: repairing device ", i, " of ", stacks.size());
+    if (deviceUp_[i])
+        return;
+    deviceUp_[i] = 1;
+    stacks[i]->device.repair();
+    NEON_TRACE(obs::TraceCategory::Fault, obs::TraceKind::Instant,
+               "fleet.device_up",
+               obs::TraceIds{static_cast<std::int16_t>(i), -1, -1}, 0, 0);
+    if (onDeviceUp)
+        onDeviceUp(i);
+}
+
+std::size_t
+FleetManager::upDeviceCount() const
+{
+    std::size_t n = 0;
+    for (const char up : deviceUp_)
+        n += up ? 1 : 0;
+    return n;
+}
+
+void
+FleetManager::enableWatchdog(const WatchdogConfig &cfg)
+{
+    if (!watchdogs.empty())
+        panic("fleet: watchdog already enabled");
+    watchdogs.reserve(stacks.size());
+    for (std::size_t i = 0; i < stacks.size(); ++i) {
+        auto w = std::make_unique<Watchdog>(
+            stacks[i]->kernel.eventQueue(), stacks[i]->kernel, cfg, i);
+        w->onKill = [this](const WatchdogKill &k) {
+            if (onWatchdogKill)
+                onWatchdogKill(k);
+        };
+        watchdogs.push_back(std::move(w));
+    }
+}
+
+std::vector<WatchdogKill>
+FleetManager::watchdogKillLog() const
+{
+    std::vector<WatchdogKill> out;
+    for (const auto &w : watchdogs)
+        out.insert(out.end(), w->killLog().begin(), w->killLog().end());
+    return out;
+}
+
+std::uint64_t
+FleetManager::watchdogHangKills() const
+{
+    std::uint64_t n = 0;
+    for (const auto &w : watchdogs)
+        n += w->hangKills();
+    return n;
+}
+
+std::uint64_t
+FleetManager::watchdogRunawayKills() const
+{
+    std::uint64_t n = 0;
+    for (const auto &w : watchdogs)
+        n += w->runawayKills();
+    return n;
 }
 
 std::size_t
@@ -192,6 +305,7 @@ FleetManager::loadViews() const
         v.busyTime = s->meter.totalBusy();
         v.assignedTasks = liveTasksPerDevice[s->index];
         v.assignedDemand = liveDemandPerDevice[s->index];
+        v.up = deviceUp_[s->index] != 0;
         views.push_back(v);
     }
     return views;

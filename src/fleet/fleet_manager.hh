@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_config.hh"
+#include "fault/watchdog.hh"
 #include "fleet/device_stack.hh"
 #include "fleet/fleet_config.hh"
 #include "fleet/placement.hh"
@@ -107,12 +109,66 @@ class FleetManager
     /** Device index a task was placed on. */
     std::size_t deviceOf(const Task &t) const;
 
+    // ------------------------------------------------------------------
+    // Fault plane: availability, failover, watchdog protection
+    // ------------------------------------------------------------------
+
+    /**
+     * Take device @p i down (fault injection): force its device model
+     * Down (losing in-flight work), notify onDeviceDown (the serve
+     * layer shrinks admission capacity before the evictions land), and
+     * drain every live task through onTaskEvicted — or plain
+     * retirement when no eviction handler is installed.
+     */
+    void failDevice(std::size_t i);
+
+    /** Bring device @p i back and notify onDeviceUp. */
+    void repairDevice(std::size_t i);
+
+    bool deviceUp(std::size_t i) const { return deviceUp_.at(i) != 0; }
+
+    /** Devices currently up. */
+    std::size_t upDeviceCount() const;
+
+    /**
+     * Install a watchdog service on every device stack. Call before
+     * start(); the watchdogs arm with the kernels.
+     */
+    void enableWatchdog(const WatchdogConfig &cfg);
+
+    /** The per-device watchdog, or nullptr when not enabled. */
+    const Watchdog *watchdog(std::size_t i) const
+    {
+        return i < watchdogs.size() ? watchdogs[i].get() : nullptr;
+    }
+
+    /** Watchdog kills across the fleet, device order then kill order. */
+    std::vector<WatchdogKill> watchdogKillLog() const;
+
+    std::uint64_t watchdogHangKills() const;
+    std::uint64_t watchdogRunawayKills() const;
+
     /**
      * Observer invoked after a task is killed by per-device protection
      * (scheduler kill path). The serve layer uses it to free admission
      * slots; the placement policy has already been notified.
      */
     std::function<void(Task &)> onTaskKilled;
+
+    /**
+     * Observer handed each live task of a dying device, in placement
+     * order. The handler owns the disposition (the serve layer retires
+     * the incarnation and re-queues the session); without one the task
+     * is simply retired.
+     */
+    std::function<void(Task &)> onTaskEvicted;
+
+    /** Device availability transitions (serve capacity tracking). */
+    std::function<void(std::size_t)> onDeviceDown;
+    std::function<void(std::size_t)> onDeviceUp;
+
+    /** Observer forwarded every watchdog kill across the fleet. */
+    std::function<void(const WatchdogKill &)> onWatchdogKill;
 
     /** Snapshot of per-device load, ordered by device index. */
     std::vector<DeviceLoadView> loadViews() const;
@@ -153,6 +209,8 @@ class FleetManager
     void releasePlacement(Placed &entry);
 
     std::vector<std::unique_ptr<DeviceStack>> stacks;
+    std::vector<std::unique_ptr<Watchdog>> watchdogs;
+    std::vector<char> deviceUp_; ///< availability flags, device order
     std::unique_ptr<PlacementPolicy> policy;
     std::vector<Placed> placed;
     std::vector<Task *> taskRefs;

@@ -32,15 +32,29 @@ constexpr std::size_t noExclusion = static_cast<std::size_t>(-1);
  * overflow must not spill back onto the over-capacity home device);
  * it is ignored when it would leave no candidates.
  */
+/** Any device currently up? (All-down fleets fall back to ignoring it.) */
+bool
+anyUp(const std::vector<DeviceLoadView> &devices)
+{
+    for (const DeviceLoadView &d : devices) {
+        if (d.up)
+            return true;
+    }
+    return false;
+}
+
 std::size_t
 leastLoadedIndex(const std::vector<DeviceLoadView> &devices,
                  std::size_t exclude = noExclusion)
 {
+    const bool skip_down = anyUp(devices);
     std::size_t best = 0;
     double best_busy = 0.0, best_tasks = 0.0;
     bool first = true;
     for (const DeviceLoadView &d : devices) {
         if (d.index == exclude && devices.size() > 1)
+            continue;
+        if (skip_down && !d.up)
             continue;
         const double busy = static_cast<double>(d.busyTime);
         const double tasks = static_cast<double>(d.assignedTasks);
@@ -50,6 +64,22 @@ leastLoadedIndex(const std::vector<DeviceLoadView> &devices,
             best = d.index;
             best_busy = busy;
             best_tasks = tasks;
+        }
+    }
+    if (first) {
+        // Everything filtered (exclude + down): retry without exclusion.
+        for (const DeviceLoadView &d : devices) {
+            if (skip_down && !d.up)
+                continue;
+            const double busy = static_cast<double>(d.busyTime);
+            const double tasks = static_cast<double>(d.assignedTasks);
+            if (first || busy < best_busy ||
+                (busy == best_busy && tasks < best_tasks)) {
+                first = false;
+                best = d.index;
+                best_busy = busy;
+                best_tasks = tasks;
+            }
         }
     }
     return best;
@@ -62,6 +92,17 @@ RoundRobinPlacement::place(const std::vector<DeviceLoadView> &devices,
                            const PlacementRequest &req)
 {
     (void)req;
+    // Rotate past down devices; an all-down fleet keeps the plain
+    // rotation so behavior is unchanged when the fault plane is idle.
+    if (anyUp(devices)) {
+        for (std::size_t k = 0; k < devices.size(); ++k) {
+            const std::size_t slot = (next + k) % devices.size();
+            if (devices[slot].up) {
+                next = (slot + 1) % devices.size();
+                return devices[slot].index;
+            }
+        }
+    }
     const std::size_t chosen = next % devices.size();
     next = (next + 1) % devices.size();
     return devices[chosen].index;
@@ -87,11 +128,12 @@ StickyPlacement::place(const std::vector<DeviceLoadView> &devices,
 {
     auto it = affinity.find(keyOf(req));
     if (it != affinity.end()) {
-        // Prefer the mapped device unless it is over capacity; spill
-        // keeps the mapping so later arrivals return once load drains.
+        // Prefer the mapped device unless it is over capacity or down;
+        // spill keeps the mapping so later arrivals return once load
+        // drains (or the device is repaired).
         for (const DeviceLoadView &d : devices) {
             if (d.index == it->second.device) {
-                if (d.assignedTasks < capacity)
+                if (d.up && d.assignedTasks < capacity)
                     return d.index;
                 break;
             }
@@ -149,10 +191,13 @@ HeterogeneityAwarePlacement::place(
     // demand + arriving demand) / speed, tie-broken by normalized busy
     // time. Faster devices absorb proportionally more demand,
     // reproducing a throughput-aware assignment.
+    const bool skip_down = anyUp(devices);
     std::size_t best = 0;
     double best_score = 0.0, best_busy = 0.0;
     bool first = true;
     for (const DeviceLoadView &d : devices) {
+        if (skip_down && !d.up)
+            continue;
         const double speed = d.speedFactor > 0.0 ? d.speedFactor : 1.0;
         const double score = (d.assignedDemand + req.demand) / speed;
         const double busy = static_cast<double>(d.busyTime) / speed;

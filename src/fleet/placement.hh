@@ -39,6 +39,13 @@ struct DeviceLoadView
 
     /** Accumulated device busy time (UsageMeter::totalBusy). */
     Tick busyTime = 0;
+
+    /**
+     * Availability: false while the device is Down (fault plane).
+     * Policies never place onto a down device while any up device
+     * exists.
+     */
+    bool up = true;
 };
 
 /** Description of the task being placed. */

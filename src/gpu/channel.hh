@@ -126,6 +126,13 @@ class Channel
     /** Arbitration bookkeeping (owned by the device's arbiter). */
     int arbCredit = 0;
 
+    /**
+     * Fault-injection arming: the next request dispatched from this
+     * channel hangs (its service time becomes infinite). Set by the
+     * fault injector when the channel is idle; consumed at dispatch.
+     */
+    bool hangArmed = false;
+
   private:
     int chanId;
     GpuContext &owner;

@@ -85,7 +85,7 @@ GpuDevice::submit(Channel &c, GpuRequest req)
 void
 GpuDevice::tryDispatch(Engine &e)
 {
-    if (e.busy)
+    if (e.busy || health_ != DeviceHealth::Up)
         return;
 
     Channel *c = e.arb.pick();
@@ -101,6 +101,12 @@ GpuDevice::tryDispatch(Engine &e)
         GpuRequest next = c->ring().pop();
         next.serviceTime += req.serviceTime;
         req = next;
+    }
+
+    // An armed hang fault turns this request infinite at dispatch.
+    if (c->hangArmed) {
+        c->hangArmed = false;
+        req.serviceTime = maxTick;
     }
 
     // The very first dispatch after power-on pays no switch penalty.
@@ -160,8 +166,9 @@ GpuDevice::tryDispatch(Engine &e)
         // Hot path: one completion event per dispatched request.
         auto completion = [this, &e] { finish(e); };
         static_assert(EventCallback::fitsInline<decltype(completion)>);
+        e.completionAt = e.serviceStart + service;
         e.completionEvent =
-            eq.schedule(e.serviceStart + service, std::move(completion));
+            eq.schedule(e.completionAt, std::move(completion));
     } else {
         e.completionEvent = invalidEventId;
     }
@@ -233,6 +240,7 @@ GpuDevice::abortChannel(Channel &c)
                    "engine.abort", abort_ids, c.id(), 0);
 
         e.current = nullptr;
+        e.pausedRemaining = -1;
         c.setBusyOnDevice(false);
 
         // Engine stays busy for the cleanup period, then resumes.
@@ -243,6 +251,155 @@ GpuDevice::abortChannel(Channel &c)
     }
 
     c.ring().clear();
+}
+
+void
+GpuDevice::stall(Tick duration)
+{
+    if (health_ == DeviceHealth::Down || duration <= 0)
+        return;
+
+    const Tick until = eq.now() + duration;
+    if (health_ == DeviceHealth::Degraded) {
+        // Overlapping stall: extend the existing window if it is longer.
+        if (until > stallUntil) {
+            eq.cancel(stallResumeEvent);
+            stallUntil = until;
+            stallResumeEvent =
+                eq.schedule(stallUntil, [this] { resumeFromStall(); });
+        }
+        return;
+    }
+
+    health_ = DeviceHealth::Degraded;
+    stallUntil = until;
+    pauseStart = eq.now();
+
+    // Freeze in-flight finite requests: remember how much service each
+    // had left and cancel its completion. Infinite (hung) requests have
+    // no completion to pause; they keep occupying the engine.
+    for (Engine &e : engines) {
+        if (e.busy && e.completionEvent != invalidEventId) {
+            eq.cancel(e.completionEvent);
+            e.completionEvent = invalidEventId;
+            e.pausedRemaining = std::max<Tick>(0, e.completionAt - eq.now());
+        }
+    }
+
+    NEON_TRACE(obs::TraceCategory::Fault, obs::TraceKind::Begin,
+               "dev.stall", obs::TraceIds{devIndex, -1, -1}, duration, 0);
+
+    stallResumeEvent =
+        eq.schedule(stallUntil, [this] { resumeFromStall(); });
+}
+
+void
+GpuDevice::resumeFromStall()
+{
+    stallResumeEvent = invalidEventId;
+    health_ = DeviceHealth::Up;
+
+    NEON_TRACE(obs::TraceCategory::Fault, obs::TraceKind::End,
+               "dev.stall", obs::TraceIds{devIndex, -1, -1},
+               eq.now() - pauseStart, 0);
+
+    // Thaw paused requests: shift their service window by the pause so
+    // accounting at finish() charges only true execution time.
+    const Tick paused = eq.now() - pauseStart;
+    for (Engine &e : engines) {
+        if (e.busy && e.pausedRemaining >= 0) {
+            Engine *ep = &e;
+            e.serviceStart += paused;
+            e.completionAt = eq.now() + e.pausedRemaining;
+            e.pausedRemaining = -1;
+            e.completionEvent =
+                eq.schedule(e.completionAt, [this, ep] { finish(*ep); });
+        }
+    }
+    for (Engine &e : engines)
+        tryDispatch(e);
+}
+
+void
+GpuDevice::forceDown()
+{
+    if (health_ == DeviceHealth::Down)
+        return;
+    if (health_ == DeviceHealth::Degraded) {
+        eq.cancel(stallResumeEvent);
+        stallResumeEvent = invalidEventId;
+    }
+    health_ = DeviceHealth::Down;
+
+    NEON_TRACE(obs::TraceCategory::Fault, obs::TraceKind::Instant,
+               "dev.down", obs::TraceIds{devIndex, -1, -1}, 0, 0);
+
+    // In-flight requests are lost — their reference counters never
+    // advance — but the time they occupied the engines is real and is
+    // charged to their tasks, so usage meters reconcile exactly.
+    for (Engine &e : engines) {
+        if (!e.busy || !e.current)
+            continue;
+        if (e.completionEvent != invalidEventId) {
+            eq.cancel(e.completionEvent);
+            e.completionEvent = invalidEventId;
+        }
+        const Tick effective_end =
+            e.pausedRemaining >= 0 ? pauseStart : eq.now();
+        const Tick occupied =
+            std::max<Tick>(0, effective_end - e.serviceStart);
+        const int task_id = e.current->context().taskId();
+        meter.recordBusy(task_id, occupied, e.active.cls);
+
+        const obs::TraceIds lost_ids{devIndex, task_id, -1};
+        if (e.kind == EngineKind::Execute) {
+            NEON_TRACE(obs::TraceCategory::Device, obs::TraceKind::End,
+                       "engine.exec", lost_ids, occupied, 0);
+        } else {
+            NEON_TRACE(obs::TraceCategory::Device, obs::TraceKind::End,
+                       "engine.dma", lost_ids, occupied, 0);
+        }
+        NEON_TRACE(obs::TraceCategory::Fault, obs::TraceKind::Instant,
+                   "dev.lost_request", lost_ids, e.current->id(), 0);
+
+        e.current->setBusyOnDevice(false);
+        e.current = nullptr;
+        e.busy = false;
+        e.pausedRemaining = -1;
+    }
+}
+
+void
+GpuDevice::repair()
+{
+    if (health_ != DeviceHealth::Down)
+        return;
+    health_ = DeviceHealth::Up;
+
+    NEON_TRACE(obs::TraceCategory::Fault, obs::TraceKind::Instant,
+               "dev.repair", obs::TraceIds{devIndex, -1, -1}, 0, 0);
+
+    for (Engine &e : engines)
+        tryDispatch(e);
+}
+
+void
+GpuDevice::injectHang(Channel &c)
+{
+    Engine &e = engineOf(c.engine());
+    if (e.busy && e.current == &c) {
+        if (e.completionEvent != invalidEventId) {
+            eq.cancel(e.completionEvent);
+            e.completionEvent = invalidEventId;
+        }
+        e.active.serviceTime = maxTick;
+        e.pausedRemaining = -1;
+    } else {
+        c.hangArmed = true;
+    }
+    NEON_TRACE(obs::TraceCategory::Fault, obs::TraceKind::Instant,
+               "dev.hang_inject",
+               obs::TraceIds{devIndex, c.context().taskId(), -1}, c.id(), 0);
 }
 
 } // namespace neon

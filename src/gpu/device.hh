@@ -39,6 +39,14 @@
 namespace neon
 {
 
+/** Availability of a device (the fault plane's state machine). */
+enum class DeviceHealth
+{
+    Up,       ///< serving normally
+    Degraded, ///< transient stall: in-flight work paused, nothing dispatches
+    Down,     ///< dead: in-flight work lost, nothing dispatches until repair
+};
+
 /** The accelerator device model. */
 class GpuDevice
 {
@@ -87,6 +95,33 @@ class GpuDevice
     bool engineBusy(EngineKind k) const { return engineOf(k).busy; }
     Channel *engineCurrent(EngineKind k) const { return engineOf(k).current; }
 
+    /** Current availability state. */
+    DeviceHealth health() const { return health_; }
+
+    /**
+     * Transient stall: pause in-flight requests and suspend dispatch
+     * for @p duration (overlapping stalls extend the window). Paused
+     * requests resume where they left off; no work is lost.
+     */
+    void stall(Tick duration);
+
+    /**
+     * Full device death. In-flight requests are lost: their reference
+     * counters never advance, but the time they occupied the engines is
+     * still charged to their tasks. Dispatch stops until repair().
+     */
+    void forceDown();
+
+    /** Bring a Down device back to Up and restart dispatch. */
+    void repair();
+
+    /**
+     * Hang injection: if @p c is executing now, its active request
+     * becomes infinite; otherwise the next request dispatched from the
+     * channel hangs. Either way only the watchdog/scheduler can clear it.
+     */
+    void injectHang(Channel &c);
+
     /** Start time of the request currently on the engine (debug/tests). */
     Tick engineServiceStart(EngineKind k) const
     {
@@ -114,6 +149,8 @@ class GpuDevice
         GpuRequest active;
         Tick serviceStart = 0;
         EventId completionEvent = invalidEventId;
+        Tick completionAt = 0;      ///< when completionEvent fires
+        Tick pausedRemaining = -1;  ///< service left across a stall; -1 idle
         int lastContext = -1;
         int lastChannel = -1;
         RequestClass lastClass = RequestClass::Compute;
@@ -136,11 +173,17 @@ class GpuDevice
 
     void tryDispatch(Engine &e);
     void finish(Engine &e);
+    void resumeFromStall();
 
     EventQueue &eq;
     DeviceConfig cfg;
     UsageMeter &meter;
     std::int16_t devIndex = 0;
+
+    DeviceHealth health_ = DeviceHealth::Up;
+    Tick stallUntil = 0;
+    Tick pauseStart = 0;
+    EventId stallResumeEvent = invalidEventId;
 
     std::array<Engine, 2> engines;
     std::vector<std::unique_ptr<GpuContext>> contexts;

@@ -166,6 +166,10 @@ World::World(const ExperimentConfig &cfg)
         });
         observer->start();
     }
+    if (cfg.fault.watchdog.enabled) {
+        watchdog = std::make_unique<Watchdog>(eq, kernel,
+                                              cfg.fault.watchdog, 0);
+    }
 }
 
 World::~World() = default;
@@ -189,6 +193,8 @@ World::start()
                          makeWorkloadBody(t, specs[i], taskSeed(cfg, i)));
     }
     kernel.start();
+    if (watchdog)
+        watchdog->start();
 }
 
 void
@@ -264,6 +270,8 @@ FleetWorld::FleetWorld(const ExperimentConfig &cfg)
         observer->attachFleet(fleet);
         observer->start();
     }
+    if (cfg.fault.watchdog.enabled)
+        fleet.enableWatchdog(cfg.fault.watchdog);
 }
 
 FleetWorld::~FleetWorld() = default;

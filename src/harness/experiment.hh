@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_config.hh"
 #include "fleet/fleet_manager.hh"
 #include "fleet/fleet_metrics.hh"
 #include "gpu/device.hh"
@@ -77,6 +78,14 @@ struct ExperimentConfig
      * clock, and migration thresholds.
      */
     ServeConfig serve;
+
+    /**
+     * Fault plane: watchdog protection (all worlds) and the seeded
+     * fault-injection plan (ServeWorld only). Default-disabled; an
+     * empty plan with the watchdog on leaves workload draws
+     * bit-identical to a fault-free run.
+     */
+    FaultConfig fault;
 
     Tick warmup = msec(400);
     Tick measure = sec(4);
@@ -197,6 +206,9 @@ class World
 
     /** Tracing/metrics bundle (cfg.observe.enabled() only, else null). */
     std::unique_ptr<obs::Observer> observer;
+
+    /** Watchdog service (cfg.fault.watchdog.enabled only, else null). */
+    std::unique_ptr<Watchdog> watchdog;
 
   private:
     ExperimentConfig cfg;

@@ -77,6 +77,13 @@ ServeWorld::ServeWorld(const ExperimentConfig &cfg,
         observer->attachServe(engine);
         observer->start();
     }
+    if (cfg.fault.watchdog.enabled)
+        fleet.enableWatchdog(cfg.fault.watchdog);
+    if (cfg.fault.plan.any()) {
+        injector = std::make_unique<FaultInjector>(eq, fleet,
+                                                   cfg.fault.plan,
+                                                   cfg.seed);
+    }
 }
 
 ServeWorld::~ServeWorld() = default;
@@ -86,6 +93,8 @@ ServeWorld::start()
 {
     fleet.start();
     engine.start();
+    if (injector)
+        injector->start();
 }
 
 ServeRunResult
@@ -97,6 +106,10 @@ ServeWorld::results()
     r.departures = engine.departures();
     r.kills = engine.killedSessions();
     r.migrations = engine.migrationCount();
+    r.evictions = engine.evictedSessions();
+    r.retryAttempts = engine.retryAttempts();
+    r.failovers = engine.failoverCount();
+    r.shedSessions = engine.shedSessions();
     r.peakLiveSessions = engine.peakLiveSessions();
     r.peakQueueDepth = engine.admissionState().peakPending();
     r.queuedAtEnd = engine.admissionState().pendingCount();
@@ -105,6 +118,7 @@ ServeWorld::results()
     r.deviceBalance = fleetDeviceBalance(r.deviceBusy);
     r.vtimeSpreadMs = fleetVtimeSpreadMs(fleet);
 
+    std::uint64_t interrupted = 0, recovered = 0;
     std::vector<double> queue_ms, sojourn_ms, turnaround_ms, rates;
     for (const SessionRecord &s : engine.sessionResults()) {
         ServeSessionResult out;
@@ -115,6 +129,16 @@ ServeWorld::results()
         out.admitted = s.admitted;
         out.departed = s.departed;
         out.killed = s.killed;
+        out.shed = s.shed;
+        out.evictions = s.evictions;
+        out.failovers = s.failovers;
+        if (s.evictions > 0) {
+            ++interrupted;
+            // Recovered = resumed after every interruption and not
+            // later dropped by shedding or a protection kill.
+            if (s.failovers == s.evictions && !s.shed && !s.killed)
+                ++recovered;
+        }
         out.devices = s.devices;
         out.migrations = s.migrations;
         out.busy = s.busy;
@@ -164,6 +188,72 @@ ServeWorld::results()
     r.slo.queueDelayMs = summarizeLatencies(std::move(queue_ms));
     r.slo.sojournMs = summarizeLatencies(std::move(sojourn_ms));
     r.slo.turnaroundMs = summarizeLatencies(std::move(turnaround_ms));
+    r.recoveryRate = interrupted > 0
+        ? static_cast<double>(recovered) / static_cast<double>(interrupted)
+        : 1.0;
+
+    AvailabilityReport &f = r.fault;
+    f.watchdogHangKills = fleet.watchdogHangKills();
+    f.watchdogRunawayKills = fleet.watchdogRunawayKills();
+    const std::uint64_t wd_kills =
+        f.watchdogHangKills + f.watchdogRunawayKills;
+    const std::uint64_t all_kills = fleet.totalKills();
+    f.schedulerKills = all_kills >= wd_kills ? all_kills - wd_kills : 0;
+    f.evictedSessions = r.evictions;
+    f.recoveredSessions = recovered;
+    f.shedSessions = r.shedSessions;
+
+    if (injector) {
+        f.injectedDeaths = injector->injectedDeaths();
+        f.injectedStalls = injector->injectedStalls();
+        f.injectedHangs = injector->injectedHangs();
+        f.skippedInjections = injector->skipped();
+        f.repairs = injector->repairs();
+
+        // Match each injected hang to the first unconsumed watchdog
+        // kill of the same victim at or after the injection; the match
+        // gap is the detection latency.
+        const std::vector<WatchdogKill> kills = fleet.watchdogKillLog();
+        std::vector<char> used(kills.size(), 0);
+        double mttd_sum = 0.0;
+        for (HangRecord &h : injector->hangs()) {
+            for (std::size_t i = 0; i < kills.size(); ++i) {
+                if (used[i] || kills[i].device != h.device ||
+                    kills[i].pid != h.pid || kills[i].at < h.at)
+                    continue;
+                used[i] = 1;
+                h.detected = true;
+                ++f.detectedHangs;
+                mttd_sum += toMsec(kills[i].at - h.at);
+                break;
+            }
+        }
+        if (f.detectedHangs > 0)
+            f.mttdMs = mttd_sum / static_cast<double>(f.detectedHangs);
+
+        // Downtime: completed outages by their repair, open ones
+        // clamped at the horizon.
+        Tick down_total = 0;
+        double mttr_sum = 0.0;
+        std::uint64_t completed_outages = 0;
+        for (const OutageRecord &o : injector->outages()) {
+            const Tick up = o.upAt >= 0 ? o.upAt : eq.now();
+            down_total += up - o.downAt;
+            if (o.upAt >= 0) {
+                mttr_sum += toMsec(o.upAt - o.downAt);
+                ++completed_outages;
+            }
+        }
+        if (completed_outages > 0)
+            f.mttrMs =
+                mttr_sum / static_cast<double>(completed_outages);
+        const double device_time = static_cast<double>(eq.now()) *
+            static_cast<double>(fleet.deviceCount());
+        if (device_time > 0.0) {
+            f.availability =
+                1.0 - static_cast<double>(down_total) / device_time;
+        }
+    }
     return r;
 }
 

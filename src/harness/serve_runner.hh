@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/availability.hh"
+#include "fault/injector.hh"
 #include "harness/experiment.hh"
 #include "metrics/slo.hh"
 #include "serve/serve_engine.hh"
@@ -59,6 +61,10 @@ struct ServeSessionResult
     Tick admitted = -1; ///< -1 = still queued at the horizon
     Tick departed = -1; ///< -1 = still live at the horizon
     bool killed = false;
+    bool shed = false; ///< dropped after exhausting its retry budget
+
+    int evictions = 0; ///< device-failure interruptions
+    int failovers = 0; ///< successful resumes after interruption
 
     std::vector<std::size_t> devices; ///< one per incarnation
     int migrations = 0;
@@ -81,6 +87,17 @@ struct ServeRunResult
     std::uint64_t departures = 0;
     std::uint64_t kills = 0;
     std::uint64_t migrations = 0;
+    std::uint64_t evictions = 0;     ///< session interruptions
+    std::uint64_t retryAttempts = 0; ///< re-admission attempts
+    std::uint64_t failovers = 0;     ///< successful resumes
+    std::uint64_t shedSessions = 0;  ///< retry budget exhausted
+
+    /**
+     * Of the sessions interrupted by a device failure, the fraction
+     * that resumed after every interruption and were not later shed or
+     * killed. 1.0 when nothing was interrupted.
+     */
+    double recoveryRate = 1.0;
     std::size_t peakLiveSessions = 0; ///< in-system (queued + placed)
     std::size_t peakQueueDepth = 0;
     std::size_t queuedAtEnd = 0;
@@ -106,6 +123,9 @@ struct ServeRunResult
     double deviceBalance = 1.0;
 
     SloReport slo;
+
+    /** Injected vs. detected vs. recovered (fault plane enabled). */
+    AvailabilityReport fault;
 
     /** Observer capture summary (empty when observe was disabled). */
     std::string observeSummary;
@@ -138,6 +158,9 @@ class ServeWorld
 
     /** Tracing/metrics bundle (cfg.observe.enabled() only, else null). */
     std::unique_ptr<obs::Observer> observer;
+
+    /** Fault injector (cfg.fault.plan.any() only, else null). */
+    std::unique_ptr<FaultInjector> injector;
 
   private:
     ExperimentConfig cfg;

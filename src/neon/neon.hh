@@ -18,6 +18,11 @@
 #ifndef NEON_NEON_HH
 #define NEON_NEON_HH
 
+#include "fault/availability.hh"
+#include "fault/fault_config.hh"
+#include "fault/fault_plan.hh"
+#include "fault/injector.hh"
+#include "fault/watchdog.hh"
 #include "fleet/device_stack.hh"
 #include "fleet/fleet_config.hh"
 #include "fleet/fleet_manager.hh"

@@ -21,6 +21,7 @@ traceCategoryName(TraceCategory c)
       case TraceCategory::Fleet: return "fleet";
       case TraceCategory::Serve: return "serve";
       case TraceCategory::Counter: return "counter";
+      case TraceCategory::Fault: return "fault";
     }
     return "?";
 }
@@ -46,7 +47,7 @@ parseTraceCategories(const std::string &spec)
             mask |= defaultTraceCategories;
             continue;
         }
-        for (std::uint32_t bit = 0; bit < 7; ++bit) {
+        for (std::uint32_t bit = 0; bit < 8; ++bit) {
             const auto c = static_cast<TraceCategory>(1u << bit);
             if (tok == traceCategoryName(c))
                 mask |= (1u << bit);

@@ -45,6 +45,7 @@ enum class TraceCategory : std::uint32_t
     Fleet = 1u << 4,   ///< placement, migration, retirement
     Serve = 1u << 5,   ///< session lifecycle, admission, global clock
     Counter = 1u << 6, ///< sampled metric values (counter tracks)
+    Fault = 1u << 7,   ///< injected faults, watchdog kills, failover
 };
 
 /** Every category except the very hot per-event SimCore points. */
@@ -54,10 +55,11 @@ constexpr std::uint32_t defaultTraceCategories =
     static_cast<std::uint32_t>(TraceCategory::Device) |
     static_cast<std::uint32_t>(TraceCategory::Fleet) |
     static_cast<std::uint32_t>(TraceCategory::Serve) |
-    static_cast<std::uint32_t>(TraceCategory::Counter);
+    static_cast<std::uint32_t>(TraceCategory::Counter) |
+    static_cast<std::uint32_t>(TraceCategory::Fault);
 
 /** All categories, including per-event SimCore tracing. */
-constexpr std::uint32_t allTraceCategories = (1u << 7) - 1;
+constexpr std::uint32_t allTraceCategories = (1u << 8) - 1;
 
 /** Short display name of one category ("sched", "serve", ...). */
 const char *traceCategoryName(TraceCategory c);

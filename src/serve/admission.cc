@@ -34,8 +34,10 @@ AdmissionController::arrive(const QueuedRequest &req)
     ++nArrivals;
 
     // Even with a free slot, a nonempty queue means someone is ahead;
-    // jumping it would undermine the release policy's ordering.
-    if (liveCount < slots && pending.empty()) {
+    // jumping it would undermine the release policy's ordering. A
+    // priority request (interrupted session retrying) is the exception:
+    // it already served its wait before the fault.
+    if (liveCount < slots && (pending.empty() || req.priority)) {
         noteLive(req.tenant);
         ++nDirect;
         NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::Instant,
@@ -69,9 +71,20 @@ AdmissionController::depart(const std::string &tenant)
             liveByTenant.erase(it);
     }
 
+    return releaseIfFree();
+}
+
+std::optional<QueuedRequest>
+AdmissionController::releaseIfFree()
+{
     if (pending.empty() || liveCount >= slots)
         return std::nullopt;
+    return releaseOne();
+}
 
+std::optional<QueuedRequest>
+AdmissionController::releaseOne()
+{
     const std::size_t i = pickNext();
     QueuedRequest out = pending[i];
     pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
@@ -85,6 +98,19 @@ AdmissionController::depart(const std::string &tenant)
     return out;
 }
 
+bool
+AdmissionController::removePending(std::uint64_t session)
+{
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (pending[i].session == session) {
+            pending.erase(pending.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            return true;
+        }
+    }
+    return false;
+}
+
 std::size_t
 AdmissionController::liveOf(const std::string &tenant) const
 {
@@ -95,6 +121,13 @@ AdmissionController::liveOf(const std::string &tenant) const
 std::size_t
 AdmissionController::pickNext() const
 {
+    // Interrupted sessions resume before ordinary admissions regardless
+    // of policy, FIFO among themselves.
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (pending[i].priority)
+            return i;
+    }
+
     std::size_t best = 0;
     switch (kind) {
       case AdmissionKind::Fifo:

@@ -33,6 +33,13 @@ struct QueuedRequest
     std::string tenant;        ///< fair-share principal
     double demand = 1.0;       ///< expected-demand hint
     Tick enqueued = 0;         ///< arrival time (FIFO order basis)
+
+    /**
+     * Interrupted session returning through retry: it already paid its
+     * queueing delay, so it may take a free slot past the queue and is
+     * released ahead of ordinary requests (FIFO among priorities).
+     */
+    bool priority = false;
 };
 
 /** Slot-capacity admission control with pluggable release order. */
@@ -55,6 +62,23 @@ class AdmissionController
      */
     std::optional<QueuedRequest> depart(const std::string &tenant);
 
+    /**
+     * Release one queued request if a slot is free, without a
+     * departure. Used when capacity grows (device repair) to drain the
+     * queue onto the restored slots; call until it returns nullopt.
+     */
+    std::optional<QueuedRequest> releaseIfFree();
+
+    /**
+     * Retarget the slot pool (device failure/repair). 0 is legal at
+     * runtime — a fully-down fleet admits nothing; live sessions above
+     * the new capacity stay live and drain through departures.
+     */
+    void setCapacity(std::size_t n) { slots = n; }
+
+    /** Drop a pending request (session shed while queued). */
+    bool removePending(std::uint64_t session);
+
     std::size_t capacity() const { return slots; }
     std::size_t live() const { return liveCount; }
     std::size_t pendingCount() const { return pending.size(); }
@@ -71,6 +95,7 @@ class AdmissionController
 
   private:
     std::size_t pickNext() const; ///< index into pending, per policy
+    std::optional<QueuedRequest> releaseOne(); ///< unconditional pick
 
     void
     noteLive(const std::string &tenant)

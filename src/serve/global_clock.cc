@@ -23,6 +23,7 @@ GlobalVirtualClock::sample() const
         s.index = v.index;
         s.speedFactor = v.speedFactor > 0.0 ? v.speedFactor : 1.0;
         s.liveTasks = v.assignedTasks;
+        s.up = v.up;
         const auto *tap = dynamic_cast<const VirtualTimeTap *>(
             fleet.stack(v.index).sched.get());
         if (tap) {
@@ -87,7 +88,7 @@ GlobalVirtualClock::pickLagging(
     Tick best_v = 0;
     std::size_t best_tasks = 0;
     for (const DeviceClockSample &d : devices) {
-        if (d.liveTasks >= slots_per_device)
+        if (!d.up || d.liveTasks >= slots_per_device)
             continue;
         const Tick v = d.hasVtime ? d.normVtime : 0;
         if (!have || v < best_v ||
@@ -101,12 +102,19 @@ GlobalVirtualClock::pickLagging(
     if (have)
         return best;
 
-    // Every device is at capacity (the admission controller normally
-    // prevents this): least-crowded wins.
+    // Every up device is at capacity (the admission controller normally
+    // prevents this): least-crowded up device wins; only an all-down
+    // fleet falls back to ignoring availability.
+    bool have_up = false;
+    for (const DeviceClockSample &d : devices)
+        have_up = have_up || d.up;
+    bool seeded = false;
     best = devices.empty() ? 0 : devices[0].index;
-    best_tasks = devices.empty() ? 0 : devices[0].liveTasks;
     for (const DeviceClockSample &d : devices) {
-        if (d.liveTasks < best_tasks) {
+        if (have_up && !d.up)
+            continue;
+        if (!seeded || d.liveTasks < best_tasks) {
+            seeded = true;
             best = d.index;
             best_tasks = d.liveTasks;
         }
@@ -129,7 +137,7 @@ GlobalVirtualClock::planMigration(
     std::size_t from = 0, to = 0;
     Tick from_v = 0, to_v = 0;
     for (const DeviceClockSample &d : devices) {
-        if (!d.hasVtime)
+        if (!d.hasVtime || !d.up)
             continue;
         if (d.liveTasks >= min_tasks &&
             (!have_from || d.normVtime < from_v)) {

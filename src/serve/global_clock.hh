@@ -45,6 +45,7 @@ struct DeviceClockSample
     Tick vtime = 0;        ///< raw system vtime (device-time units)
     Tick normVtime = 0;    ///< vtime x speedFactor (work units)
     std::size_t liveTasks = 0;
+    bool up = true;        ///< down devices never steer or host migrants
 };
 
 /** A migration decision derived from one clock sample. */

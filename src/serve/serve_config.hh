@@ -45,6 +45,23 @@ enum class AdmissionKind
 /** Display name of an admission policy. */
 std::string admissionKindName(AdmissionKind k);
 
+/**
+ * Retry policy for sessions interrupted by device failure. An evicted
+ * session re-enters admission after a capped exponential backoff; once
+ * the budget is spent (or the fleet stays hopeless), it is shed.
+ */
+struct RetryConfig
+{
+    /** Retry attempts before the session is shed (fast-failed). */
+    int maxRetries = 3;
+
+    /** First backoff; attempt k waits base << k, capped below. */
+    Tick backoffBase = msec(2);
+
+    /** Ceiling on any single backoff. */
+    Tick backoffCap = msec(64);
+};
+
 /** Serving-layer configuration. */
 struct ServeConfig
 {
@@ -83,6 +100,9 @@ struct ServeConfig
 
     /** Ceiling on total migrations (0 = unlimited); stability valve. */
     std::uint64_t migrationBudget = 0;
+
+    /** Recovery policy for sessions evicted by device failure. */
+    RetryConfig retry;
 };
 
 } // namespace neon

@@ -1,5 +1,6 @@
 #include "serve/serve_engine.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/trace.hh"
@@ -17,14 +18,16 @@ ServeEngine::ServeEngine(EventQueue &eq, FleetManager &fleet,
       slots(slots_per_device), seed(seed),
       adm(cfg.admission, slots_per_device * fleet.deviceCount()),
       clock(fleet, slots_per_device),
-      lifetimeRng(seed ^ 0x5e621e4a6c1full)
+      lifetimeRng(namedStream(seed, "serve.lifetime"))
 {
     if (this->classes.empty())
         panic("serve: at least one workload class is required");
     if (slots == 0)
         panic("serve: slotsPerDevice must be at least 1");
 
-    Rng arrivalsRoot(seed ^ 0x2545f4914f6cdd1dull);
+    // Named streams keep workload draws bit-identical whether or not
+    // the fault plane (with its own streams) is enabled.
+    Rng arrivalsRoot = namedStream(seed, "serve.arrivals");
     arrivalProcs.reserve(this->classes.size());
     for (const ServeClass &c : this->classes) {
         if (!c.makeBody)
@@ -43,6 +46,19 @@ ServeEngine::ServeEngine(EventQueue &eq, FleetManager &fleet,
         // releasing the slot (which may place and start a queued
         // session) is deferred to a fresh event.
         this->eq.scheduleIn(0, [this, sid] { finalizeKill(sid); });
+    };
+
+    // Device failure: capacity shrinks before the evictions land, each
+    // evicted session re-queues through retry/backoff, and repair
+    // restores capacity and drains the queue onto it.
+    fleet.onTaskEvicted = [this](Task &t) { onEviction(t); };
+    fleet.onDeviceDown = [this](std::size_t) {
+        onFleetCapacityChange();
+    };
+    fleet.onDeviceUp = [this](std::size_t) {
+        onFleetCapacityChange();
+        while (auto released = adm.releaseIfFree())
+            admitSession(released->session);
     };
 }
 
@@ -107,7 +123,11 @@ ServeEngine::admitSession(std::uint64_t sid)
 {
     SessionRecord &s = *sessions[sid];
     const ServeClass &c = classes[s.cls];
-    s.admitted = eq.now();
+    // A session with more evictions than failovers is resuming after a
+    // device failure rather than entering for the first time.
+    const bool resuming = s.evictions > s.failovers;
+    if (s.admitted < 0)
+        s.admitted = eq.now();
 
     PlacementRequest req;
     req.label = s.label;
@@ -129,15 +149,34 @@ ServeEngine::admitSession(std::uint64_t sid)
     const obs::TraceIds admit_ids{static_cast<std::int16_t>(s.device),
                                   t->pid(),
                                   static_cast<std::int32_t>(sid)};
-    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::Instant,
-               "serve.admit", admit_ids, s.admitted - s.arrived, 0);
-    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::FlowStart,
-               "session.flow", admit_ids, 0, 0);
+    if (resuming) {
+        ++s.failovers;
+        ++nFailovers;
+        NEON_TRACE(obs::TraceCategory::Fault, obs::TraceKind::Instant,
+                   "serve.failover", admit_ids, s.evictions, s.retries);
+        NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::FlowStep,
+                   "session.flow", admit_ids, 0, 0);
+    } else {
+        NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::Instant,
+                   "serve.admit", admit_ids, s.admitted - s.arrived, 0);
+        NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::FlowStart,
+                   "session.flow", admit_ids, 0, 0);
+    }
 
     startBody(s);
 
-    if (c.lifetime.finite()) {
+    if (resuming) {
+        // The departure clock stopped at eviction; resume it from the
+        // frozen remainder (none = infinite-lifetime session).
+        if (s.remainingLifetime >= 0) {
+            s.departAt = eq.now() + s.remainingLifetime;
+            s.departureEv = eq.scheduleIn(
+                s.remainingLifetime, [this, sid] { onDeparture(sid); });
+            s.remainingLifetime = -1;
+        }
+    } else if (c.lifetime.finite()) {
         const Tick life = c.lifetime.sample(lifetimeRng);
+        s.departAt = eq.now() + life;
         s.departureEv =
             eq.scheduleIn(life, [this, sid] { onDeparture(sid); });
     }
@@ -166,7 +205,9 @@ ServeEngine::onDeparture(std::uint64_t sid)
     SessionRecord &s = *sessions[sid];
     if (s.done)
         return; // killed while the departure event was in flight
-    if (s.task && s.task->killed())
+    if (!s.task)
+        return; // evicted same-tick: the retry path owns this session
+    if (s.task->killed())
         return; // same-tick kill: finalizeKill owns this session
 
     {
@@ -187,6 +228,7 @@ ServeEngine::onDeparture(std::uint64_t sid)
     endIncarnation(s);
     s.task = nullptr;
     s.departureEv = invalidEventId;
+    s.departAt = -1;
     s.departed = eq.now();
     s.done = true;
     --nLive;
@@ -218,6 +260,9 @@ ServeEngine::finalizeKill(std::uint64_t sid)
     byTask.erase(s.task);
     eq.cancel(s.departureEv);
     s.departureEv = invalidEventId;
+    eq.cancel(s.retryEv);
+    s.retryEv = invalidEventId;
+    s.departAt = -1;
     s.task = nullptr;
     s.departed = eq.now();
     s.done = true;
@@ -226,6 +271,126 @@ ServeEngine::finalizeKill(std::uint64_t sid)
     ++nKilled;
 
     freeSlot(s.tenant);
+}
+
+void
+ServeEngine::onEviction(Task &t)
+{
+    auto it = byTask.find(&t);
+    if (it == byTask.end()) {
+        // Not a live serve incarnation (already departing); let the
+        // fleet's default disposition tear it down.
+        fleet.retireTask(t);
+        return;
+    }
+    const std::uint64_t sid = it->second;
+    SessionRecord &s = *sessions[sid];
+    byTask.erase(it);
+
+    // Retire the incarnation on the dead device (its in-flight request
+    // was already lost and charged by the device's forceDown), snapshot
+    // its usage, then freeze the departure clock.
+    fleet.retireTask(t);
+    endIncarnation(s);
+    s.task = nullptr;
+    ++s.evictions;
+    ++nEvicted;
+
+    if (s.departureEv != invalidEventId) {
+        eq.cancel(s.departureEv);
+        s.departureEv = invalidEventId;
+        s.remainingLifetime = std::max<Tick>(0, s.departAt - eq.now());
+        s.departAt = -1;
+    } else {
+        s.remainingLifetime = -1; // infinite lifetime stays infinite
+    }
+
+    NEON_TRACE(obs::TraceCategory::Fault, obs::TraceKind::Instant,
+               "serve.evict",
+               obs::TraceIds{static_cast<std::int16_t>(s.device), -1,
+                             static_cast<std::int32_t>(sid)},
+               s.evictions, s.remainingLifetime);
+
+    // The slot it held is returned (capacity already shrank via
+    // onDeviceDown, so this normally releases nobody).
+    freeSlot(s.tenant);
+    scheduleRetry(s);
+}
+
+void
+ServeEngine::onFleetCapacityChange()
+{
+    adm.setCapacity(slots * fleet.upDeviceCount());
+}
+
+void
+ServeEngine::scheduleRetry(SessionRecord &s)
+{
+    if (s.retries >= cfg.retry.maxRetries) {
+        shedSession(s);
+        return;
+    }
+    Tick backoff = cfg.retry.backoffBase << s.retries;
+    if (backoff > cfg.retry.backoffCap || backoff <= 0)
+        backoff = cfg.retry.backoffCap;
+    ++s.retries;
+
+    const std::uint64_t sid = s.id;
+    s.retryEv = eq.scheduleIn(backoff, [this, sid] { retryArrive(sid); });
+    NEON_TRACE(obs::TraceCategory::Fault, obs::TraceKind::Instant,
+               "serve.retry_backoff",
+               obs::TraceIds{-1, -1, static_cast<std::int32_t>(s.id)},
+               s.retries, backoff);
+}
+
+void
+ServeEngine::retryArrive(std::uint64_t sid)
+{
+    SessionRecord &s = *sessions[sid];
+    s.retryEv = invalidEventId;
+    if (s.done)
+        return;
+
+    // Hopeless fleet (everything down): burn another backoff round
+    // rather than queueing toward capacity that may never return.
+    if (fleet.upDeviceCount() == 0 || adm.capacity() == 0) {
+        scheduleRetry(s);
+        return;
+    }
+
+    ++nRetries;
+    const ServeClass &c = classes[s.cls];
+    QueuedRequest qr;
+    qr.session = sid;
+    qr.tenant = s.tenant;
+    qr.demand = c.demand;
+    qr.enqueued = eq.now();
+    qr.priority = true;
+    if (adm.arrive(qr))
+        admitSession(sid);
+    // else: queued at priority; a departure or repair releases it.
+}
+
+void
+ServeEngine::shedSession(SessionRecord &s)
+{
+    eq.cancel(s.retryEv);
+    s.retryEv = invalidEventId;
+    adm.removePending(s.id);
+    s.remainingLifetime = -1;
+    s.shed = true;
+    s.done = true;
+    --nLive;
+    ++nShed;
+
+    const obs::TraceIds shed_ids{-1, -1,
+                                 static_cast<std::int32_t>(s.id)};
+    NEON_TRACE(obs::TraceCategory::Fault, obs::TraceKind::Instant,
+               "serve.shed", shed_ids, s.retries, eq.now() - s.arrived);
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::FlowEnd,
+               "session.flow", shed_ids, 0, 0);
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::AsyncEnd,
+               "session", shed_ids, 0, 0);
 }
 
 void

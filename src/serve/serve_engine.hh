@@ -62,8 +62,13 @@ struct SessionRecord
     Tick arrived = 0;
     Tick admitted = -1;  ///< -1 while queued
     Tick departed = -1;  ///< -1 while live
-    bool done = false;   ///< departed (or killed)
+    bool done = false;   ///< departed (or killed, or shed)
     bool killed = false; ///< ended by per-device protection
+    bool shed = false;   ///< dropped after exhausting its retry budget
+
+    int evictions = 0; ///< times a device failure interrupted it
+    int failovers = 0; ///< times it resumed on the (shrunken) fleet
+    int retries = 0;   ///< backoff attempts consumed
 
     // Accumulated across completed incarnations (endIncarnation);
     // sessionResults() adds the open incarnation on top.
@@ -79,6 +84,15 @@ struct SessionRecord
     std::size_t device = 0;
     int incarnation = 0;
     EventId departureEv = invalidEventId;
+    EventId retryEv = invalidEventId;
+    Tick departAt = -1; ///< scheduled departure time (-1 = none)
+
+    /**
+     * Lifetime left when a device failure interrupted the session;
+     * the departure clock stops during backoff/queueing and resumes
+     * from here on re-admission. -1 = no frozen remainder.
+     */
+    Tick remainingLifetime = -1;
 };
 
 /** Drives arrivals, admission, placement, migration, and departures. */
@@ -116,6 +130,10 @@ class ServeEngine
     std::uint64_t departures() const { return nDepartures; }
     std::uint64_t killedSessions() const { return nKilled; }
     std::uint64_t migrationCount() const { return nMigrations; }
+    std::uint64_t evictedSessions() const { return nEvicted; }
+    std::uint64_t retryAttempts() const { return nRetries; }
+    std::uint64_t failoverCount() const { return nFailovers; }
+    std::uint64_t shedSessions() const { return nShed; }
     std::size_t liveSessions() const { return nLive; }
     std::size_t peakLiveSessions() const { return peakLive; }
     std::size_t slotsPerDevice() const { return slots; }
@@ -126,6 +144,11 @@ class ServeEngine
     void admitSession(std::uint64_t sid);
     void onDeparture(std::uint64_t sid);
     void finalizeKill(std::uint64_t sid);
+    void onEviction(Task &t);
+    void onFleetCapacityChange();
+    void scheduleRetry(SessionRecord &s);
+    void retryArrive(std::uint64_t sid);
+    void shedSession(SessionRecord &s);
     void freeSlot(const std::string &tenant);
     void foldIncarnationUsage(SessionRecord &s) const;
     void endIncarnation(SessionRecord &s);
@@ -153,6 +176,10 @@ class ServeEngine
     std::uint64_t nDepartures = 0;
     std::uint64_t nKilled = 0;
     std::uint64_t nMigrations = 0;
+    std::uint64_t nEvicted = 0;
+    std::uint64_t nRetries = 0;
+    std::uint64_t nFailovers = 0;
+    std::uint64_t nShed = 0;
     std::size_t nLive = 0;
     std::size_t peakLive = 0;
 };

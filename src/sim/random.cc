@@ -123,4 +123,27 @@ Rng::fork()
     return Rng(next());
 }
 
+std::uint64_t
+streamSeed(std::uint64_t root, const char *name)
+{
+    // FNV-1a over the name picks the stream...
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char *p = name; *p; ++p) {
+        h ^= static_cast<unsigned char>(*p);
+        h *= 0x100000001b3ull;
+    }
+    // ...and two splitmix rounds decorrelate it from the root so
+    // root/root+1 experiments don't share suffixes of any stream.
+    std::uint64_t x = root ^ h;
+    const std::uint64_t a = splitmix64(x);
+    const std::uint64_t b = splitmix64(x);
+    return a ^ rotl(b, 27);
+}
+
+Rng
+namedStream(std::uint64_t root, const char *name)
+{
+    return Rng(streamSeed(root, name));
+}
+
 } // namespace neon

@@ -59,6 +59,21 @@ class Rng
     std::uint64_t s[4];
 };
 
+/**
+ * Derive a per-subsystem seed from a root seed and a stream name.
+ *
+ * Subsystems that draw randomness (arrivals, lifetimes, fault plans,
+ * victim picks, ...) each derive their own stream from the experiment
+ * root seed by name, so enabling one subsystem — e.g. fault
+ * injection — cannot perturb another's draw sequence. The name is
+ * hashed (FNV-1a) and mixed with the root via splitmix64 rounds, so
+ * nearby roots and similar names still land on unrelated streams.
+ */
+std::uint64_t streamSeed(std::uint64_t root, const char *name);
+
+/** An Rng seeded with streamSeed(root, name). */
+Rng namedStream(std::uint64_t root, const char *name);
+
 } // namespace neon
 
 #endif // NEON_SIM_RANDOM_HH

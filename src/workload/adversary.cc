@@ -44,6 +44,26 @@ batchingHogBody(Task &t, Tick batched_size)
 }
 
 Co
+hogThenHangBody(Task &t, int hog_rounds, Tick hog_size)
+{
+    Channel *chan = co_await t.openChannel(RequestClass::Compute);
+    if (!chan)
+        co_return;
+
+    for (int i = 0; i < hog_rounds; ++i) {
+        t.beginRound();
+        const std::uint64_t ref =
+            co_await t.submit(*chan, RequestClass::Compute, hog_size);
+        co_await t.waitRef(*chan, ref);
+        t.endRound();
+    }
+
+    const std::uint64_t ref =
+        co_await t.submit(*chan, RequestClass::Compute, maxTick);
+    co_await t.waitRef(*chan, ref); // never satisfied; watchdog kills
+}
+
+Co
 channelDosBody(Task &t, DosOutcome *outcome)
 {
     for (;;) {

@@ -29,6 +29,15 @@ Co infiniteKernelBody(Task &t, int normal_rounds, Tick normal_size);
  */
 Co batchingHogBody(Task &t, Tick batched_size);
 
+/**
+ * Hogs the device with @p hog_rounds back-to-back requests of
+ * @p hog_size, then wedges: its final request never completes. The
+ * worst tenant for a watchdog — it looks like a legitimate (if greedy)
+ * heavy app right up to the hang, so detection must key on doorbell
+ * progress, not on request size or submission rate.
+ */
+Co hogThenHangBody(Task &t, int hog_rounds, Tick hog_size);
+
 /** Result record for the channel-exhaustion attack. */
 struct DosOutcome
 {

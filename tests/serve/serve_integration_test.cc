@@ -169,5 +169,136 @@ TEST(ServeIntegration, FairShareAdmissionBalancesTenantsUnderOverload)
     EXPECT_EQ(r.queuedAtEnd, 0u);
 }
 
+TEST(ServeIntegration, DeviceDeathAmidMigrationsReconcilesMeters)
+{
+    // Teardown race 1: the global clock keeps migrating sessions off
+    // the slow device while a scripted death — landing on a clock-tick
+    // boundary, after migrations have happened — takes that same
+    // device down. Both paths retire incarnations; every one must be
+    // folded exactly once into the session ledger.
+    ExperimentConfig cfg;
+    cfg.sched = SchedKind::DisengagedFq;
+    cfg.fleet.devices = 2;
+    cfg.fleet.speedFactors = {1.5, 0.5}; // heavy skew: migrations flow 1 -> 0
+    cfg.serve.slotsPerDevice = 3;
+    cfg.serve.useGlobalClock = true;
+    cfg.serve.clockPeriod = msec(10);
+    cfg.serve.migrationLag = msec(10);
+    cfg.serve.migrationMinTasks = 1;
+    cfg.measure = sec(3);
+
+    cfg.fault.plan.script = {
+        {msec(600), FaultKind::DeviceDeath, 1, msec(400)},
+    };
+
+    std::vector<Tick> arrivals;
+    for (int i = 0; i < 10; ++i)
+        arrivals.push_back(i * msec(20));
+    WorkloadSpec w = WorkloadSpec::throttle(usec(430));
+    w.label = "mig";
+    const std::vector<ServeWorkloadSpec> specs = {
+        {w, ArrivalSpec::trace(arrivals), LifetimeSpec::fixed(sec(1))},
+    };
+
+    ServeWorld world(cfg, specs);
+    world.start();
+    world.runFor(cfg.measure);
+    const ServeRunResult r = world.results();
+
+    // Migrations occurred, the death interrupted sessions, everyone
+    // came back, and the run drained.
+    EXPECT_GE(r.migrations, 1u);
+    EXPECT_GE(r.evictions, 1u);
+    EXPECT_EQ(r.kills, 0u);
+    EXPECT_EQ(r.shedSessions, 0u);
+    EXPECT_GE(r.recoveryRate, 0.95);
+    EXPECT_EQ(r.departures, r.arrivals);
+    EXPECT_EQ(r.queuedAtEnd, 0u);
+
+    // Exact reconciliation: per-session sums equal the ground-truth
+    // meters even with eviction and migration folds interleaved.
+    Tick session_busy = 0;
+    std::uint64_t session_reqs = 0;
+    for (const auto &s : r.sessions) {
+        session_busy += s.busy;
+        session_reqs += s.requests;
+        // Device history stays coherent across evict/migrate folds.
+        ASSERT_GE(s.devices.size(), 1u);
+    }
+    Tick meter_busy = 0;
+    std::uint64_t meter_reqs = 0;
+    for (std::size_t i = 0; i < world.fleet.deviceCount(); ++i) {
+        const UsageMeter &m = world.fleet.stack(i).meter;
+        meter_busy += m.totalBusy();
+        for (const auto &kv : m.perTaskBusy())
+            meter_reqs += m.requestsOf(kv.first);
+    }
+    EXPECT_EQ(session_busy, meter_busy);
+    EXPECT_EQ(session_reqs, meter_reqs);
+}
+
+TEST(ServeIntegration, VoluntaryRetireBeatsWatchdogAndMetersReconcile)
+{
+    // Teardown race 2: a channel hang wedges a session whose lifetime
+    // expires before the watchdog's hangTimeout. The voluntary
+    // Process::retire tears down the wedged incarnation first; the
+    // watchdog must not convict anyone afterwards, and the partial
+    // occupancy of the hung request must land in the meters exactly.
+    ExperimentConfig cfg;
+    cfg.sched = SchedKind::Direct;
+    cfg.fleet.devices = 2;
+    cfg.serve.slotsPerDevice = 2;
+    cfg.measure = sec(1);
+
+    cfg.fault.watchdog.enabled = true;
+    cfg.fault.watchdog.checkPeriod = msec(5);
+    cfg.fault.watchdog.hangTimeout = msec(200); // slower than the retire
+    cfg.fault.watchdog.runawayTimeout = 0;
+
+    cfg.fault.plan.script = {
+        {msec(100), FaultKind::ChannelHang, 0, 0},
+        {msec(100), FaultKind::ChannelHang, 1, 0},
+    };
+
+    WorkloadSpec w = WorkloadSpec::throttle(usec(300));
+    w.label = "short";
+    const std::vector<ServeWorkloadSpec> specs = {
+        {w, ArrivalSpec::trace({0, 0, 0, 0}),
+         LifetimeSpec::fixed(msec(150))},
+    };
+
+    ServeWorld world(cfg, specs);
+    world.start();
+    world.runFor(cfg.measure);
+    const ServeRunResult r = world.results();
+
+    // Every session departs on its own clock; no watchdog conviction.
+    EXPECT_EQ(r.fault.injectedHangs, 2u);
+    EXPECT_EQ(r.kills, 0u);
+    EXPECT_EQ(r.fault.watchdogHangKills, 0u);
+    EXPECT_EQ(r.departures, r.arrivals);
+    EXPECT_EQ(r.queuedAtEnd, 0u);
+
+    // The wedged requests occupied engines from injection to retire;
+    // that occupancy is charged and reconciles exactly.
+    Tick session_busy = 0;
+    std::uint64_t session_reqs = 0;
+    for (const auto &s : r.sessions) {
+        session_busy += s.busy;
+        session_reqs += s.requests;
+    }
+    Tick meter_busy = 0;
+    std::uint64_t meter_reqs = 0;
+    for (std::size_t i = 0; i < world.fleet.deviceCount(); ++i) {
+        const UsageMeter &m = world.fleet.stack(i).meter;
+        meter_busy += m.totalBusy();
+        for (const auto &kv : m.perTaskBusy())
+            meter_reqs += m.requestsOf(kv.first);
+    }
+    EXPECT_EQ(session_busy, meter_busy);
+    EXPECT_EQ(session_reqs, meter_reqs);
+    EXPECT_GT(session_busy, 0);
+}
+
 } // namespace
 } // namespace neon
