@@ -22,6 +22,8 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "neon/neon.hh"
 #include "simcore_cases.hh"
@@ -72,7 +74,8 @@ timeCase(double min_s, Batch &&batch)
 struct EndToEnd
 {
     double simMs = 0.0;
-    double wallS = 0.0;
+    double wallS = 0.0;  ///< measured run interval only
+    double setupS = 0.0; ///< world construction + start (excluded)
     double simMsPerWallS = 0.0;
     std::uint64_t events = 0;
     std::size_t peakLive = 0;
@@ -82,7 +85,8 @@ struct EndToEnd
 struct EndToEndServe
 {
     double simMs = 0.0;
-    double wallS = 0.0;
+    double wallS = 0.0;  ///< measured run interval only
+    double setupS = 0.0; ///< construction/start incl. thread spawn
     double simMsPerWallS = 0.0;
     double sessionsPerWallS = 0.0;
     std::uint64_t sessions = 0;
@@ -108,20 +112,25 @@ endToEndServe()
     const ServeWorkloadSpec spec{w, ArrivalSpec::poisson(80.0, sec(1)),
                                  LifetimeSpec::fixed(msec(200))};
 
+    // Setup (world assembly, kernel start, shard-thread spawn) is
+    // timed separately so the measured interval is pure simulation.
     EndToEndServe r;
-    const auto t0 = Clock::now();
+    const auto c0 = Clock::now();
     ServeWorld world(cfg, {spec});
     world.start();
+    r.setupS = secondsSince(c0);
+
+    const auto t0 = Clock::now();
     world.runFor(cfg.measure);
+    r.wallS = secondsSince(t0);
     const ServeRunResult res = world.results();
 
-    r.wallS = secondsSince(t0);
     r.simMs = toMsec(cfg.measure);
     r.simMsPerWallS = r.simMs / r.wallS;
     r.sessions = res.departures;
     r.sessionsPerWallS = static_cast<double>(res.departures) / r.wallS;
     r.migrations = res.migrations;
-    r.events = world.eq.executed();
+    r.events = world.eventsExecuted();
 
     if (res.departures == 0 || res.queuedAtEnd != 0) {
         std::cerr << "perf_report: serving run did not drain\n";
@@ -139,18 +148,20 @@ endToEndDfq()
     cfg.measure = msec(500);
 
     EndToEnd r;
-    const auto t0 = Clock::now();
-
+    const auto c0 = Clock::now();
     World w(cfg);
     w.spawn(WorkloadSpec::app("DCT"));
     w.spawn(WorkloadSpec::throttle(usec(430)));
     w.start();
+    r.setupS = secondsSince(c0);
+
+    const auto t0 = Clock::now();
     w.runFor(cfg.warmup);
     w.beginMeasurement();
     w.runFor(cfg.measure);
+    r.wallS = secondsSince(t0);
     const RunResult res = w.results();
 
-    r.wallS = secondsSince(t0);
     r.simMs = toMsec(cfg.warmup + cfg.measure);
     r.simMsPerWallS = r.simMs / r.wallS;
     r.events = w.eq.executed();
@@ -161,6 +172,80 @@ endToEndDfq()
         std::exit(2);
     }
     return r;
+}
+
+/** One point of the shard-count scaling sweep. */
+struct ScalePoint
+{
+    unsigned shards = 0;
+    unsigned threads = 0;  ///< workers actually spawned
+    double wallS = 0.0;    ///< measured run interval only
+    double setupS = 0.0;   ///< construction/start incl. thread spawn
+    double spawnS = 0.0;   ///< thread-spawn component of setup
+    std::uint64_t events = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t mailboxMsgs = 0;
+    double eventsPerSec = 0.0;
+    double speedup = 1.0; ///< aggregate events/s vs. the 1-shard point
+};
+
+/**
+ * Shard-count scaling sweep: the same 64-device open-system workload
+ * at 1/2/4/8 shards. Only the runFor interval is measured — world
+ * assembly, kernel start, and worker-pool spawn/join land in setup_s —
+ * and the JSON records hardware_concurrency so numbers are comparable
+ * across machines (on a single-core host the sweep measures windowing
+ * overhead, not parallel speedup).
+ */
+std::vector<ScalePoint>
+scaleSweep()
+{
+    std::vector<ScalePoint> pts;
+    for (unsigned shards : {1u, 2u, 4u, 8u}) {
+        ExperimentConfig cfg;
+        cfg.sched = SchedKind::DisengagedFq;
+        cfg.fleet.devices = 64;
+        cfg.serve.slotsPerDevice = 2;
+        cfg.serve.useGlobalClock = true;
+        cfg.serve.clockPeriod = msec(10);
+        cfg.measure = sec(1);
+        cfg.shards.count = shards;
+
+        WorkloadSpec w = WorkloadSpec::throttle(usec(430));
+        w.label = "scale";
+        const ServeWorkloadSpec spec{
+            w, ArrivalSpec::poisson(400.0, msec(700)),
+            LifetimeSpec::fixed(msec(200))};
+
+        ScalePoint p;
+        p.shards = shards;
+        const auto c0 = Clock::now();
+        ServeWorld world(cfg, {spec});
+        world.start();
+        p.setupS = secondsSince(c0);
+        p.threads = world.shardCore.threadCount();
+        p.spawnS = world.shardCore.setupSeconds();
+
+        const auto t0 = Clock::now();
+        world.runFor(cfg.measure);
+        p.wallS = secondsSince(t0);
+
+        p.events = world.eventsExecuted();
+        p.windows = world.shardCore.windowsRun();
+        p.mailboxMsgs = world.shardCore.mailboxMessages();
+        p.eventsPerSec = static_cast<double>(p.events) / p.wallS;
+        p.speedup =
+            pts.empty() ? 1.0 : p.eventsPerSec / pts.front().eventsPerSec;
+
+        const ServeRunResult res = world.results();
+        if (res.departures == 0) {
+            std::cerr << "perf_report: scale_sweep shards=" << shards
+                      << " served no sessions\n";
+            std::exit(2);
+        }
+        pts.push_back(p);
+    }
+    return pts;
 }
 
 void
@@ -241,6 +326,8 @@ main(int argc, char **argv)
     const EndToEnd e2e = endToEndDfq();
     std::cerr << "running end_to_end_serve...\n";
     const EndToEndServe serve = endToEndServe();
+    std::cerr << "running scale_sweep...\n";
+    const std::vector<ScalePoint> sweep = scaleSweep();
 
     std::ofstream os(out);
     if (!os) {
@@ -249,6 +336,10 @@ main(int argc, char **argv)
     }
     os << "{\n"
        << "  \"schema\": \"neon-simcore-bench-v1\",\n"
+       << "  \"host\": {\n"
+       << "    \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << "\n"
+       << "  },\n"
        << "  \"cases\": {\n";
     emitCase(os, "schedule_run", schedule_run);
     emitCase(os, "schedule_cancel_churn", churn);
@@ -260,6 +351,7 @@ main(int argc, char **argv)
        << "  \"end_to_end_dfq\": {\n"
        << "    \"sim_ms\": " << e2e.simMs << ",\n"
        << "    \"wall_s\": " << e2e.wallS << ",\n"
+       << "    \"setup_s\": " << e2e.setupS << ",\n"
        << "    \"sim_ms_per_wall_s\": " << e2e.simMsPerWallS << ",\n"
        << "    \"events_executed\": " << e2e.events << ",\n"
        << "    \"peak_live_events\": " << e2e.peakLive << "\n"
@@ -267,6 +359,7 @@ main(int argc, char **argv)
        << "  \"end_to_end_serve\": {\n"
        << "    \"sim_ms\": " << serve.simMs << ",\n"
        << "    \"wall_s\": " << serve.wallS << ",\n"
+       << "    \"setup_s\": " << serve.setupS << ",\n"
        << "    \"sim_ms_per_wall_s\": " << serve.simMsPerWallS << ",\n"
        << "    \"sessions_served\": " << serve.sessions << ",\n"
        << "    \"sessions_per_wall_s\": " << serve.sessionsPerWallS
@@ -274,6 +367,23 @@ main(int argc, char **argv)
        << "    \"migrations\": " << serve.migrations << ",\n"
        << "    \"events_executed\": " << serve.events << "\n"
        << "  },\n"
+       << "  \"scale_sweep\": [\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const ScalePoint &p = sweep[i];
+        os << "    {\n"
+           << "      \"shards\": " << p.shards << ",\n"
+           << "      \"threads\": " << p.threads << ",\n"
+           << "      \"wall_s\": " << p.wallS << ",\n"
+           << "      \"setup_s\": " << p.setupS << ",\n"
+           << "      \"thread_spawn_s\": " << p.spawnS << ",\n"
+           << "      \"events_executed\": " << p.events << ",\n"
+           << "      \"windows\": " << p.windows << ",\n"
+           << "      \"mailbox_messages\": " << p.mailboxMsgs << ",\n"
+           << "      \"events_per_sec\": " << p.eventsPerSec << ",\n"
+           << "      \"speedup_vs_1_shard\": " << p.speedup << "\n"
+           << "    }" << (i + 1 < sweep.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n"
        << "  \"floor_events_per_sec\": " << floor_eps << "\n"
        << "}\n";
     os.close();
@@ -294,8 +404,13 @@ main(int argc, char **argv)
               << " sim-ms/wall-s\n"
               << "end_to_end_serve:      " << serve.simMsPerWallS
               << " sim-ms/wall-s (" << serve.sessions << " sessions, "
-              << serve.migrations << " migrations)\n"
-              << "wrote " << out << "\n";
+              << serve.migrations << " migrations)\n";
+    for (const ScalePoint &p : sweep)
+        std::cout << "scale_sweep shards=" << p.shards << " threads="
+                  << p.threads << ": " << p.eventsPerSec << " events/s ("
+                  << p.speedup << "x vs 1 shard, setup " << p.setupS
+                  << " s)\n";
+    std::cout << "wrote " << out << "\n";
 
     // The floor guards the raw event core and the serving-layer event
     // shape alike: both are pure EventQueue workloads, so an

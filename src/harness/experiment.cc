@@ -250,9 +250,36 @@ FleetRunResult::byLabel(const std::string &label) const
     panic("no task labelled ", label, " in fleet results");
 }
 
+Tick
+resolveShardWindow(const ExperimentConfig &cfg)
+{
+    if (cfg.shards.window > 0)
+        return cfg.shards.window;
+    Tick w = cfg.pollPeriod > 0 ? cfg.pollPeriod : msec(1);
+    if (cfg.serve.clockPeriod > 0)
+        w = std::min(w, cfg.serve.clockPeriod);
+    return std::max<Tick>(w, usec(100));
+}
+
+namespace
+{
+
+/** cfg.shards with the window grid resolved (parallel runs only). */
+ShardConfig
+resolvedShards(const ExperimentConfig &cfg)
+{
+    ShardConfig s = cfg.shards;
+    if (s.parallel())
+        s.window = resolveShardWindow(cfg);
+    return s;
+}
+
+} // namespace
+
 FleetWorld::FleetWorld(const ExperimentConfig &cfg)
-    : fleet(eq, cfg.fleet, cfg.device, cfg.costs, cfg.channelPolicy,
-            cfg.pollPeriod,
+    : shardCore(resolvedShards(cfg), eq, cfg.fleet.devices),
+      fleet(shardCore, cfg.fleet, cfg.device, cfg.costs,
+            cfg.channelPolicy, cfg.pollPeriod,
             [&cfg](KernelModule &kernel, const UsageMeter &meter,
                    std::size_t) {
                 return makeScheduler(cfg, kernel, &meter);
@@ -268,6 +295,7 @@ FleetWorld::FleetWorld(const ExperimentConfig &cfg)
     if (cfg.observe.enabled()) {
         observer = std::make_unique<obs::Observer>(eq, cfg.observe);
         observer->attachFleet(fleet);
+        observer->attachShards(shardCore);
         observer->start();
     }
     if (cfg.fault.watchdog.enabled)

@@ -28,6 +28,7 @@
 #include "sched/timeslice.hh"
 #include "serve/serve_config.hh"
 #include "sim/event_queue.hh"
+#include "sim/sharded_engine.hh"
 #include "workload/app_profile.hh"
 #include "workload/arrival.hh"
 #include "workload/throttle.hh"
@@ -86,6 +87,17 @@ struct ExperimentConfig
      * bit-identical to a fault-free run.
      */
     FaultConfig fault;
+
+    /**
+     * Sharded parallel simulation core (FleetWorld/ServeWorld): the
+     * fleet is partitioned into `shards.count` device groups, each on
+     * its own event queue and worker thread, synchronized on a
+     * conservative window grid (resolveShardWindow). count <= 1 keeps
+     * the serial single-queue core, bit-identical to previous PRs;
+     * N-shard runs are deterministic across repeats and thread counts.
+     * The single-device World ignores this block.
+     */
+    ShardConfig shards;
 
     Tick warmup = msec(400);
     Tick measure = sec(4);
@@ -239,6 +251,17 @@ makeScheduler(const ExperimentConfig &cfg, KernelModule &kernel,
  */
 Co makeWorkloadBody(Task &t, const WorkloadSpec &spec, std::uint64_t seed);
 
+/**
+ * The conservative synchronization window for @p cfg: the configured
+ * cfg.shards.window when set, otherwise the tightest cross-shard
+ * interaction cadence — min(poll period, serve global-clock period) —
+ * floored at 100us. Shards never interact faster than the kernel's
+ * engagement cadence and the serve layer's decision cadence, so a
+ * window at that horizon delays cross-shard effects by at most one
+ * decision interval.
+ */
+Tick resolveShardWindow(const ExperimentConfig &cfg);
+
 /** Per-task outcome of a fleet run. */
 struct FleetTaskResult
 {
@@ -288,7 +311,7 @@ class FleetWorld
     /** Start every device's kernel and all spawned tasks. */
     void start();
 
-    void runFor(Tick d) { eq.runFor(d); }
+    void runFor(Tick d) { shardCore.runFor(d); }
 
     /** Begin the measurement window: snapshot all statistics. */
     void beginMeasurement();
@@ -306,7 +329,11 @@ class FleetWorld
         return *traces[i];
     }
 
-    EventQueue eq;
+    /** Events executed across the control queue and every shard. */
+    std::uint64_t eventsExecuted() const { return shardCore.totalExecuted(); }
+
+    EventQueue eq;           ///< coordinator/control queue
+    ShardedEngine shardCore; ///< window-sync driver (serial when <=1 shard)
     FleetManager fleet;
 
     /** Tracing/metrics bundle (cfg.observe.enabled() only, else null). */

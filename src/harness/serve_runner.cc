@@ -59,10 +59,26 @@ ServeRunResult::byLabel(const std::string &label) const
     panic("no session labelled ", label, " in serve results");
 }
 
+namespace
+{
+
+/** cfg.shards with the window grid resolved (parallel runs only). */
+ShardConfig
+resolvedShards(const ExperimentConfig &cfg)
+{
+    ShardConfig s = cfg.shards;
+    if (s.parallel())
+        s.window = resolveShardWindow(cfg);
+    return s;
+}
+
+} // namespace
+
 ServeWorld::ServeWorld(const ExperimentConfig &cfg,
                        const std::vector<ServeWorkloadSpec> &specs)
-    : fleet(eq, cfg.fleet, cfg.device, cfg.costs, cfg.channelPolicy,
-            cfg.pollPeriod,
+    : shardCore(resolvedShards(cfg), eq, cfg.fleet.devices),
+      fleet(shardCore, cfg.fleet, cfg.device, cfg.costs,
+            cfg.channelPolicy, cfg.pollPeriod,
             [&cfg](KernelModule &kernel, const UsageMeter &meter,
                    std::size_t) {
                 return makeScheduler(cfg, kernel, &meter);
@@ -75,6 +91,7 @@ ServeWorld::ServeWorld(const ExperimentConfig &cfg,
         observer = std::make_unique<obs::Observer>(eq, cfg.observe);
         observer->attachFleet(fleet);
         observer->attachServe(engine);
+        observer->attachShards(shardCore);
         observer->start();
     }
     if (cfg.fault.watchdog.enabled)

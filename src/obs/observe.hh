@@ -15,7 +15,9 @@
 #define NEON_OBS_OBSERVE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -25,6 +27,7 @@ namespace neon
 
 class FleetManager;
 class ServeEngine;
+class ShardedEngine;
 
 namespace obs
 {
@@ -85,6 +88,14 @@ class Observer
      */
     void attachServe(ServeEngine &engine);
 
+    /**
+     * Give every shard of a parallel run its own trace ring (same
+     * capacity as the main ring), so shard workers record lock-free;
+     * writeOutputs() merges all rings by virtual time. No-op for a
+     * serial engine.
+     */
+    void attachShards(ShardedEngine &engine);
+
     /** Begin the sampling cadence (no-op when samplePeriod == 0). */
     void start();
 
@@ -95,10 +106,17 @@ class Observer
     std::string summary() const;
 
   private:
+    /** All rings (main + shards) merged into virtual-time order. */
+    std::vector<TraceRecord> mergedRecords() const;
+
     EventQueue &eq;
     ObserveConfig cfg;
     TraceRecorder ring;
     MetricsRegistry registry;
+
+    /** Per-shard rings (attachShards; parallel runs only). */
+    std::vector<std::unique_ptr<TraceRecorder>> shardRings;
+    ShardedEngine *shardEngine = nullptr;
 };
 
 } // namespace obs

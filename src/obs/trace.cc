@@ -1,5 +1,6 @@
 #include "obs/trace.hh"
 
+#include <mutex>
 #include <unordered_map>
 
 #include "sim/event_queue.hh"
@@ -62,10 +63,13 @@ namespace
 /**
  * Process-global intern table. Lives independently of any recorder so
  * ids handed out to function-local statics in trace points stay valid
- * across recorder swaps and ring wraps.
+ * across recorder swaps and ring wraps. Mutex-guarded: interning is a
+ * cold once-per-trace-point path, but in a sharded run that first hit
+ * can happen on several worker threads at once.
  */
 struct InternTable
 {
+    std::mutex mtx;
     std::vector<std::string> names;
     std::unordered_map<std::string, std::uint16_t> ids;
 };
@@ -83,6 +87,7 @@ std::uint16_t
 internTraceName(const char *name)
 {
     auto &t = interns();
+    std::lock_guard<std::mutex> lock(t.mtx);
     auto it = t.ids.find(name);
     if (it != t.ids.end())
         return it->second;
@@ -98,6 +103,7 @@ const std::string &
 traceNameOf(std::uint16_t id)
 {
     auto &t = interns();
+    std::lock_guard<std::mutex> lock(t.mtx);
     if (id >= t.names.size())
         panic("unknown interned trace name id ", id);
     return t.names[id];
@@ -106,7 +112,9 @@ traceNameOf(std::uint16_t id)
 std::size_t
 traceNameCount()
 {
-    return interns().names.size();
+    auto &t = interns();
+    std::lock_guard<std::mutex> lock(t.mtx);
+    return t.names.size();
 }
 
 TraceRecorder::TraceRecorder(std::size_t capacity)
@@ -132,8 +140,11 @@ TraceRecorder::snapshot() const
 namespace
 {
 
-TraceRecorder *sinkRecorder = nullptr;
-const EventQueue *sinkClock = nullptr;
+// Thread-local: each shard worker points its sink at the shard's own
+// ring for the duration of a parallel phase, so the hot enabled path
+// stays lock-free — one writer per ring, merged at export time.
+thread_local TraceRecorder *sinkRecorder = nullptr;
+thread_local const EventQueue *sinkClock = nullptr;
 
 } // namespace
 
@@ -171,6 +182,13 @@ setTraceSink(TraceRecorder *r, std::uint32_t mask, const EventQueue *clock)
     sinkRecorder = r;
     sinkClock = r ? clock : nullptr;
     detail::activeMask = r ? mask : 0;
+}
+
+void
+installThreadTraceSink(TraceRecorder *r, const EventQueue *clock)
+{
+    sinkRecorder = r;
+    sinkClock = r ? clock : nullptr;
 }
 
 TraceRecorder *

@@ -85,7 +85,14 @@ struct ServeConfig
      */
     bool useGlobalClock = false;
 
-    /** Global-clock sampling/steering period. */
+    /**
+     * Global-clock sampling/steering period. Also one of the two
+     * cadences (with the kernel poll period) that bound the sharded
+     * core's conservative synchronization window: the serve layer
+     * never reacts to cross-device state faster than this, so shards
+     * can run that far ahead without observable reordering
+     * (resolveShardWindow).
+     */
     Tick clockPeriod = msec(20);
 
     /**

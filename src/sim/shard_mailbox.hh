@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cross-shard message buffer for the sharded simulation core.
+ *
+ * During a parallel window each shard runs its own EventQueue on its
+ * own thread and must not touch shared state (fleet placement tables,
+ * the serve layer, other shards). Anything a shard needs the outside
+ * world to know — a protection kill, a watchdog verdict — is posted to
+ * its mailbox as a timestamped closure instead. Mailboxes are strictly
+ * single-writer: only the thread currently driving the owning shard
+ * appends, and only the coordinator (with every worker parked at the
+ * window barrier) drains, so no locking is needed — the barrier's
+ * acquire/release handoff is the synchronization.
+ *
+ * Messages carry (when, per-shard sequence) so the coordinator can
+ * merge all shards' traffic into one canonical order — sort by
+ * (when, shard, seq) — that is a pure function of the simulation
+ * state, never of OS thread scheduling. That merge order is what makes
+ * N-shard runs bit-identical across repeats and worker-thread counts.
+ */
+
+#ifndef NEON_SIM_SHARD_MAILBOX_HH
+#define NEON_SIM_SHARD_MAILBOX_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace neon
+{
+
+/** One shard's outbound message buffer (single writer, barrier-drained). */
+class ShardMailbox
+{
+  public:
+    /** A deferred cross-shard effect, stamped for canonical merging. */
+    struct Message
+    {
+        Tick when = 0;          ///< shard-local time of the cause
+        std::uint64_t seq = 0;  ///< posting order within the shard
+        EventCallback fn;       ///< applied at the window barrier
+    };
+
+    /** Append a message (owning shard's thread only). */
+    void
+    post(Tick when, EventCallback fn)
+    {
+        msgs.push_back({when, nextSeq++, std::move(fn)});
+    }
+
+    bool empty() const { return msgs.empty(); }
+    std::size_t size() const { return msgs.size(); }
+
+    /** Total messages ever posted (stats/tests). */
+    std::uint64_t posted() const { return nextSeq; }
+
+    /** Move the buffered messages out (coordinator, at the barrier). */
+    std::vector<Message>
+    take()
+    {
+        std::vector<Message> out;
+        out.swap(msgs);
+        return out;
+    }
+
+  private:
+    std::vector<Message> msgs;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace neon
+
+#endif // NEON_SIM_SHARD_MAILBOX_HH
