@@ -64,6 +64,20 @@ BM_OpenSystemChurn(benchmark::State &state)
 BENCHMARK(BM_OpenSystemChurn);
 
 void
+BM_OpenSystemChurnAudited(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        obs::AuditLog audit;
+        benchmark::DoNotOptimize(
+            neonbench::openSystemChurnAuditedBatch(eq, 1024, audit));
+        benchmark::DoNotOptimize(audit.violations());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * 1024);
+}
+BENCHMARK(BM_OpenSystemChurnAudited);
+
+void
 BM_OpenSystemFaulty(benchmark::State &state)
 {
     for (auto _ : state) {

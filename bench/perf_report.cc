@@ -322,6 +322,21 @@ main(int argc, char **argv)
         std::cerr << "perf_report: traced churn recorded nothing\n";
         return 2;
     }
+    // Same workload with the audit plane's per-event invariant checks
+    // live, so the report tracks what the always-on auditor costs the
+    // hot loop. The CI floor applies to the unaudited case only.
+    std::cerr << "running open_system_churn (audit on)...\n";
+    obs::AuditLog audit_log;
+    const CaseResult churn_audited = timeCase(minS, [&](EventQueue &eq) {
+        return neonbench::openSystemChurnAuditedBatch(eq, batchN,
+                                                      audit_log);
+    });
+    if (audit_log.checks() == 0 || audit_log.violations() != 0) {
+        std::cerr << "perf_report: audited churn checks="
+                  << audit_log.checks() << " violations="
+                  << audit_log.violations() << "\n";
+        return 2;
+    }
     std::cerr << "running end_to_end_dfq...\n";
     const EndToEnd e2e = endToEndDfq();
     std::cerr << "running end_to_end_serve...\n";
@@ -346,7 +361,9 @@ main(int argc, char **argv)
     emitCase(os, "fleet_interleave", fleet);
     emitCase(os, "open_system_churn", churn_serve);
     emitCase(os, "open_system_faulty", faulty);
-    emitCase(os, "open_system_churn_traced", churn_traced, /*last=*/true);
+    emitCase(os, "open_system_churn_traced", churn_traced);
+    emitCase(os, "open_system_churn_audited", churn_audited,
+             /*last=*/true);
     os << "  },\n"
        << "  \"end_to_end_dfq\": {\n"
        << "    \"sim_ms\": " << e2e.simMs << ",\n"
@@ -400,6 +417,8 @@ main(int argc, char **argv)
               << " events/s\n"
               << "  ... tracing on:      " << churn_traced.itemsPerSec
               << " events/s (" << trace_ring.dropped() << " dropped)\n"
+              << "  ... audit on:        " << churn_audited.itemsPerSec
+              << " events/s (" << audit_log.checks() << " checks)\n"
               << "end_to_end_dfq:        " << e2e.simMsPerWallS
               << " sim-ms/wall-s\n"
               << "end_to_end_serve:      " << serve.simMsPerWallS

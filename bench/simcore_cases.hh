@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/audit.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 
@@ -152,6 +153,105 @@ openSystemChurnBatch(neon::EventQueue &eq, int sessions)
 
     System sys;
     sys.eq = &eq;
+    sys.remaining = sessions;
+    sys.scheduleArrival();
+    return eq.drain();
+}
+
+/**
+ * The churn shape with the audit plane's hot path on every event:
+ * the same open system as openSystemChurnBatch, but every arrival and
+ * departure also evaluates the runtime invariants through
+ * AuditLog::check — session conservation (arrivals == live + queued +
+ * served), the slot-pool bound, and served-count monotonicity. The
+ * delta against open_system_churn is the cost the always-on auditor
+ * adds to an event-loop-bound run. Returns the number of events
+ * executed.
+ */
+inline std::uint64_t
+openSystemChurnAuditedBatch(neon::EventQueue &eq, int sessions,
+                            neon::obs::AuditLog &audit)
+{
+    struct System
+    {
+        neon::EventQueue *eq = nullptr;
+        neon::obs::AuditLog *audit = nullptr;
+        neon::Rng rng{0x5eedull};
+        int slots = 8;
+        int live = 0;
+        int remaining = 0;
+        std::uint64_t arrived = 0;
+        std::uint64_t served = 0;
+        std::uint64_t servedPrev = 0;
+        std::vector<int> queue;
+
+        void
+        scheduleArrival()
+        {
+            if (remaining-- <= 0)
+                return;
+            const neon::Tick gap =
+                static_cast<neon::Tick>(rng.next() % 700);
+            eq->scheduleIn(gap, [this] {
+                arrive();
+                scheduleArrival();
+            });
+        }
+
+        void
+        checkInvariants()
+        {
+            const std::uint64_t in_system =
+                static_cast<std::uint64_t>(live) + queue.size() + served;
+            audit->check(arrived == in_system, "churn.conservation",
+                         eq->now(),
+                         static_cast<std::int64_t>(arrived),
+                         static_cast<std::int64_t>(in_system));
+            audit->check(live <= slots, "churn.slot_bound", eq->now(),
+                         slots, live);
+            audit->check(served >= servedPrev, "churn.served_monotone",
+                         eq->now(),
+                         static_cast<std::int64_t>(servedPrev),
+                         static_cast<std::int64_t>(served));
+            servedPrev = served;
+        }
+
+        void
+        arrive()
+        {
+            ++arrived;
+            if (live < slots && queue.empty())
+                admit();
+            else
+                queue.push_back(1);
+            checkInvariants();
+        }
+
+        void
+        admit()
+        {
+            ++live;
+            const neon::Tick service =
+                800 + static_cast<neon::Tick>(rng.next() % 1024);
+            eq->scheduleIn(service, [this] { depart(); });
+        }
+
+        void
+        depart()
+        {
+            --live;
+            ++served;
+            if (!queue.empty() && live < slots) {
+                queue.erase(queue.begin());
+                admit();
+            }
+            checkInvariants();
+        }
+    };
+
+    System sys;
+    sys.eq = &eq;
+    sys.audit = &audit;
     sys.remaining = sessions;
     sys.scheduleArrival();
     return eq.drain();

@@ -99,5 +99,6 @@ main(int argc, char **argv)
     if (!r.observeSummary.empty())
         std::cout << "wrote " << cfg.observe.tracePath << ": "
                   << r.observeSummary << "\n";
-    return 0;
+    std::cout << r.audit.summary() << "\n";
+    return r.audit.clean() ? 0 : 1;
 }

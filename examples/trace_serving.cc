@@ -13,8 +13,13 @@
  *   trace.json    - Chrome trace-event timeline; open in Perfetto
  *                   (ui.perfetto.dev) or chrome://tracing
  *   counters.csv  - sampled metric time series
+ *   records.jsonl - raw trace records (bench_trace_analyze input)
  *
- * Usage: trace_serving [trace.json [counters.csv]]
+ * The ring is sized so the capture is exact; the example exits
+ * nonzero if any record was dropped, so the exported files can be
+ * trusted for post-hoc analysis.
+ *
+ * Usage: trace_serving [trace.json [counters.csv [records.jsonl]]]
  * Set NEON_VERBOSE=1 for kernel status output during the run.
  */
 
@@ -41,10 +46,11 @@ main(int argc, char **argv)
     cfg.measure = sec(4);
 
     cfg.observe.categories = obs::defaultTraceCategories;
-    cfg.observe.bufferCapacity = std::size_t(1) << 18;
+    cfg.observe.bufferCapacity = std::size_t(1) << 20; // exact capture
     cfg.observe.samplePeriod = msec(1);
     cfg.observe.tracePath = argc > 1 ? argv[1] : "trace.json";
     cfg.observe.countersCsvPath = argc > 2 ? argv[2] : "counters.csv";
+    cfg.observe.recordsJsonlPath = argc > 3 ? argv[3] : "records.jsonl";
 
     WorkloadSpec small = WorkloadSpec::throttle(usec(100));
     small.label = "interactive";
@@ -63,9 +69,19 @@ main(int argc, char **argv)
     ServeRunner runner(cfg);
     const ServeRunResult r = runner.run(classes, /*with_slowdowns=*/false);
 
-    std::cout << "wrote " << cfg.observe.tracePath << " and "
-              << cfg.observe.countersCsvPath << ": " << r.observeSummary
+    std::cout << "wrote " << cfg.observe.tracePath << ", "
+              << cfg.observe.countersCsvPath << ", and "
+              << cfg.observe.recordsJsonlPath << ": " << r.observeSummary
               << " (" << r.arrivals << " arrivals, " << r.migrations
               << " migrations)\n";
+    std::cout << r.audit.summary() << "\n";
+    if (r.traceDrops > 0) {
+        std::cout << "ERROR: " << r.traceDrops
+                  << " trace records dropped - the capture is not "
+                     "exact; grow observe.bufferCapacity\n";
+        return 1;
+    }
+    if (!r.audit.clean())
+        return 1;
     return 0;
 }

@@ -5,6 +5,7 @@
 #include "metrics/reporter.hh"
 #include "sched/direct.hh"
 #include "sched/disengaged_timeslice.hh"
+#include "sched/vtime_tap.hh"
 #include "sim/logging.hh"
 #include "workload/synthetic_app.hh"
 
@@ -170,6 +171,36 @@ World::World(const ExperimentConfig &cfg)
         watchdog = std::make_unique<Watchdog>(eq, kernel,
                                               cfg.fault.watchdog, 0);
     }
+    if (cfg.observe.audit.enabled) {
+        auditor = std::make_unique<obs::Auditor>(eq, cfg.observe.audit);
+        if (dynamic_cast<VirtualTimeTap *>(sched.get())) {
+            auditor->addMonotone("dev0.vtime_monotone", [this] {
+                return static_cast<double>(
+                    dynamic_cast<const VirtualTimeTap *>(sched.get())
+                        ->tapSystemVtime());
+            });
+        }
+        auditor->addMonotone("dev0.busy_monotone", [this] {
+            return static_cast<double>(meter.totalBusy());
+        });
+        if (watchdog) {
+            const WatchdogConfig wdc = cfg.fault.watchdog;
+            auditor->addFinal(
+                "watchdog.latency_bound",
+                [this, wdc](obs::AuditLog &log, Tick now) {
+                    for (const WatchdogKill &k : watchdog->killLog()) {
+                        const Tick timeout = k.cause == WatchdogCause::Hang
+                            ? wdc.hangTimeout
+                            : wdc.runawayTimeout;
+                        const Tick bound = timeout + 2 * wdc.checkPeriod;
+                        log.check(k.latency <= bound,
+                                  "watchdog.latency_bound", now, bound,
+                                  k.latency);
+                    }
+                });
+        }
+        auditor->start();
+    }
 }
 
 World::~World() = default;
@@ -237,6 +268,10 @@ World::results()
         tr.killed = t.killed();
         r.tasks.push_back(std::move(tr));
     }
+    if (auditor) {
+        auditor->finalize();
+        r.audit = auditor->report();
+    }
     return r;
 }
 
@@ -300,6 +335,13 @@ FleetWorld::FleetWorld(const ExperimentConfig &cfg)
     }
     if (cfg.fault.watchdog.enabled)
         fleet.enableWatchdog(cfg.fault.watchdog);
+    if (cfg.observe.audit.enabled) {
+        auditor = std::make_unique<obs::Auditor>(eq, cfg.observe.audit);
+        obs::registerFleetAudits(
+            *auditor, fleet,
+            cfg.fault.watchdog.enabled ? &cfg.fault.watchdog : nullptr);
+        auditor->start();
+    }
 }
 
 FleetWorld::~FleetWorld() = default;
@@ -394,6 +436,10 @@ FleetWorld::results()
     r.fairness.taskFairness = fleetTaskFairness(usage, fleet);
     r.fairness.deviceBalance = fleetDeviceBalance(r.deviceBusy);
     r.fairness.vtimeSpreadMs = fleetVtimeSpreadMs(fleet, vtimeBaseline);
+    if (auditor) {
+        auditor->finalize();
+        r.audit = auditor->report();
+    }
     return r;
 }
 

@@ -178,6 +178,9 @@ struct RunResult
     Tick switchOverhead = 0;
     std::uint64_t kills = 0;
 
+    /** Invariant-audit outcome (checks == 0 when the auditor was off). */
+    obs::AuditReport audit;
+
     const TaskResult &byLabel(const std::string &label) const;
 };
 
@@ -218,6 +221,9 @@ class World
 
     /** Tracing/metrics bundle (cfg.observe.enabled() only, else null). */
     std::unique_ptr<obs::Observer> observer;
+
+    /** Invariant auditor (cfg.observe.audit.enabled; on by default). */
+    std::unique_ptr<obs::Auditor> auditor;
 
     /** Watchdog service (cfg.fault.watchdog.enabled only, else null). */
     std::unique_ptr<Watchdog> watchdog;
@@ -287,6 +293,9 @@ struct FleetRunResult
     double throughputRps = 0.0;   ///< fleet-wide requests per second
     FleetFairnessReport fairness;
 
+    /** Invariant-audit outcome (checks == 0 when the auditor was off). */
+    obs::AuditReport audit;
+
     const FleetTaskResult &byLabel(const std::string &label) const;
 };
 
@@ -338,6 +347,9 @@ class FleetWorld
 
     /** Tracing/metrics bundle (cfg.observe.enabled() only, else null). */
     std::unique_ptr<obs::Observer> observer;
+
+    /** Invariant auditor (cfg.observe.audit.enabled; on by default). */
+    std::unique_ptr<obs::Auditor> auditor;
 
   private:
     ExperimentConfig cfg;

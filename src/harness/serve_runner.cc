@@ -94,12 +94,25 @@ ServeWorld::ServeWorld(const ExperimentConfig &cfg,
         observer->attachShards(shardCore);
         observer->start();
     }
+    if (cfg.observe.analyze.enabled()) {
+        analyzer = std::make_unique<obs::Analyzer>(eq, fleet, engine,
+                                                   cfg.observe.analyze);
+        analyzer->start();
+    }
     if (cfg.fault.watchdog.enabled)
         fleet.enableWatchdog(cfg.fault.watchdog);
     if (cfg.fault.plan.any()) {
         injector = std::make_unique<FaultInjector>(eq, fleet,
                                                    cfg.fault.plan,
                                                    cfg.seed);
+    }
+    if (cfg.observe.audit.enabled) {
+        auditor = std::make_unique<obs::Auditor>(eq, cfg.observe.audit);
+        obs::registerFleetAudits(
+            *auditor, fleet,
+            cfg.fault.watchdog.enabled ? &cfg.fault.watchdog : nullptr);
+        obs::registerServeAudits(*auditor, engine, fleet);
+        auditor->start();
     }
 }
 
@@ -271,6 +284,36 @@ ServeWorld::results()
                 1.0 - static_cast<double>(down_total) / device_time;
         }
     }
+
+    // Goodput against the configured SLO targets (sojourn here; the
+    // slowdown target needs baselines and is refined in ServeRunner).
+    GoodputReport &gp = r.slo.goodput;
+    gp.targeted = cfg.serve.slo.any();
+    for (const ServeSessionResult &s : r.sessions) {
+        if (!s.hasDeparted() || s.killed)
+            continue;
+        ++gp.eligible;
+        if (cfg.serve.slo.sojournTarget <= 0 ||
+            s.departed - s.admitted <= cfg.serve.slo.sojournTarget)
+            ++gp.met;
+    }
+    gp.fraction = gp.eligible > 0
+        ? static_cast<double>(gp.met) / static_cast<double>(gp.eligible)
+        : 1.0;
+
+    if (analyzer) {
+        analyzer->finalize();
+        r.sessionPhases = analyzer->sessionPhases();
+        if (analyzer->config().phases)
+            r.phases = analyzer->phaseReport();
+        r.timeline = analyzer->timeline();
+    }
+    if (auditor) {
+        auditor->finalize();
+        r.audit = auditor->report();
+    }
+    if (observer)
+        r.traceDrops = observer->droppedRecords();
     return r;
 }
 
@@ -286,6 +329,8 @@ ServeRunner::run(const std::vector<ServeWorkloadSpec> &specs,
         world.observer->writeOutputs();
         r.observeSummary = world.observer->summary();
     }
+    if (world.analyzer)
+        world.analyzer->writeOutputs();
 
     if (with_slowdowns) {
         // Per-class isolated baseline: the workload alone on one
@@ -316,6 +361,31 @@ ServeRunner::run(const std::vector<ServeWorkloadSpec> &specs,
                 slowdowns.push_back(s.meanRoundUs / it->second);
         }
         r.slo.slowdown = summarizeLatencies(std::move(slowdowns));
+
+        // With baselines in hand, fold the slowdown target into
+        // goodput: a clean departure now has to meet both bounds.
+        if (cfg.serve.slo.slowdownTarget > 0.0) {
+            GoodputReport &gp = r.slo.goodput;
+            gp.met = 0;
+            for (const ServeSessionResult &s : r.sessions) {
+                if (!s.hasDeparted() || s.killed)
+                    continue;
+                bool met = cfg.serve.slo.sojournTarget <= 0 ||
+                    s.departed - s.admitted <= cfg.serve.slo.sojournTarget;
+                const auto it = solo_round.find(s.cls);
+                if (met && s.rounds > 0 && it != solo_round.end() &&
+                    it->second > 0.0 &&
+                    s.meanRoundUs / it->second >
+                        cfg.serve.slo.slowdownTarget)
+                    met = false;
+                if (met)
+                    ++gp.met;
+            }
+            gp.fraction = gp.eligible > 0
+                ? static_cast<double>(gp.met) /
+                    static_cast<double>(gp.eligible)
+                : 1.0;
+        }
     }
     return r;
 }

@@ -130,6 +130,21 @@ struct ServeRunResult
     /** Observer capture summary (empty when observe was disabled). */
     std::string observeSummary;
 
+    /** Trace-ring drops across all rings (0 = exact capture / no trace). */
+    std::uint64_t traceDrops = 0;
+
+    /** Invariant-audit outcome (checks == 0 when the auditor was off). */
+    obs::AuditReport audit;
+
+    /** Per-session phase attribution (observe.analyze.phases only). */
+    std::vector<obs::SessionPhases> sessionPhases;
+
+    /** Tail attribution rolled up overall / per tenant / per class. */
+    obs::PhaseReport phases;
+
+    /** Windowed fairness/goodput/util series (observe.analyze.window). */
+    std::vector<obs::WindowStats> timeline;
+
     const ServeSessionResult &byLabel(const std::string &label) const;
 };
 
@@ -163,6 +178,12 @@ class ServeWorld
 
     /** Tracing/metrics bundle (cfg.observe.enabled() only, else null). */
     std::unique_ptr<obs::Observer> observer;
+
+    /** Analysis plane (cfg.observe.analyze.enabled() only, else null). */
+    std::unique_ptr<obs::Analyzer> analyzer;
+
+    /** Invariant auditor (cfg.observe.audit.enabled; on by default). */
+    std::unique_ptr<obs::Auditor> auditor;
 
     /** Fault injector (cfg.fault.plan.any() only, else null). */
     std::unique_ptr<FaultInjector> injector;

@@ -64,6 +64,20 @@ summarizeLatencies(std::vector<double> xs)
     return s;
 }
 
+/**
+ * Goodput: of the sessions that departed cleanly (not killed, not
+ * shed), the fraction that met every configured SLO target
+ * (ServeConfig::slo). Untargeted runs report fraction 1.0 with
+ * targeted == false, so the field is always meaningful to print.
+ */
+struct GoodputReport
+{
+    bool targeted = false;       ///< was any SLO target configured?
+    std::uint64_t eligible = 0;  ///< departed, un-killed sessions
+    std::uint64_t met = 0;       ///< of those, met every target
+    double fraction = 1.0;       ///< met / eligible (1.0 when no eligible)
+};
+
 /** SLO report for one serving run. */
 struct SloReport
 {
@@ -82,6 +96,9 @@ struct SloReport
      * per departed session.
      */
     LatencySummary slowdown;
+
+    /** Fraction of clean departures meeting the configured targets. */
+    GoodputReport goodput;
 };
 
 } // namespace neon

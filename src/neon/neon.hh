@@ -36,6 +36,8 @@
 #include "metrics/reporter.hh"
 #include "metrics/request_trace.hh"
 #include "metrics/slo.hh"
+#include "obs/analyze.hh"
+#include "obs/audit.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/metrics.hh"
 #include "obs/observe.hh"

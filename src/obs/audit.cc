@@ -1,0 +1,226 @@
+#include "obs/audit.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "fault/fault_config.hh"
+#include "fleet/fleet_manager.hh"
+#include "sched/vtime_tap.hh"
+#include "serve/serve_engine.hh"
+#include "sim/event_queue.hh"
+
+namespace neon
+{
+namespace obs
+{
+
+std::string
+AuditReport::summary() const
+{
+    std::ostringstream os;
+    if (clean()) {
+        os << "audit clean: " << checks << " checks, 0 violations";
+        return os.str();
+    }
+    os << "AUDIT VIOLATIONS: " << violations << " of " << checks
+       << " checks failed (";
+    bool first = true;
+    for (const auto &kv : byCheck) {
+        if (kv.second == 0)
+            continue;
+        if (!first)
+            os << ", ";
+        os << kv.first << " x" << kv.second;
+        first = false;
+    }
+    os << ")";
+    return os.str();
+}
+
+AuditReport
+AuditLog::report() const
+{
+    AuditReport r;
+    r.checks = nChecks;
+    r.violations = nViolations;
+    r.byCheck.assign(perCheck.begin(), perCheck.end());
+    r.samples = samples;
+    return r;
+}
+
+void
+AuditLog::recordViolation(const char *name, Tick when, std::int64_t expected,
+                          std::int64_t actual)
+{
+    ++nViolations;
+    ++perCheck[name];
+    if (samples.size() < maxSamples)
+        samples.push_back({name, when, expected, actual});
+}
+
+Auditor::Auditor(EventQueue &q, const AuditConfig &c)
+    : eq(q), cfg(c), log_(c.maxSamples)
+{
+}
+
+void
+Auditor::addPeriodic(std::string name, Check fn)
+{
+    periodic.emplace_back(std::move(name), std::move(fn));
+}
+
+void
+Auditor::addFinal(std::string name, Check fn)
+{
+    finals.emplace_back(std::move(name), std::move(fn));
+}
+
+void
+Auditor::addMonotone(const std::string &name, std::function<double()> probe)
+{
+    // The closure owns both the watched probe and the last observation;
+    // the check name must outlive calls, so it rides in the closure too.
+    struct Watch
+    {
+        std::string name;
+        std::function<double()> probe;
+        double last = 0.0;
+        bool seen = false;
+    };
+    auto w = std::make_shared<Watch>();
+    w->name = name;
+    w->probe = std::move(probe);
+    addPeriodic(name, [w](AuditLog &log, Tick now) {
+        const double v = w->probe();
+        if (w->seen) {
+            log.check(v >= w->last, w->name.c_str(), now,
+                      static_cast<std::int64_t>(w->last),
+                      static_cast<std::int64_t>(v));
+        }
+        w->last = v;
+        w->seen = true;
+    });
+}
+
+void
+Auditor::start()
+{
+    if (started || cfg.period <= 0)
+        return;
+    started = true;
+    eq.scheduleIn(cfg.period, [this] { tick(); });
+}
+
+void
+Auditor::tick()
+{
+    if (finalized)
+        return;
+    for (auto &p : periodic)
+        p.second(log_, eq.now());
+    eq.scheduleIn(cfg.period, [this] { tick(); });
+}
+
+void
+Auditor::finalize()
+{
+    if (finalized)
+        return;
+    finalized = true;
+    for (auto &p : periodic)
+        p.second(log_, eq.now());
+    for (auto &f : finals)
+        f.second(log_, eq.now());
+}
+
+void
+registerFleetAudits(Auditor &a, FleetManager &fleet,
+                    const WatchdogConfig *wd)
+{
+    for (std::size_t i = 0; i < fleet.deviceCount(); ++i) {
+        const std::string dev = "dev" + std::to_string(i);
+        if (dynamic_cast<VirtualTimeTap *>(fleet.stack(i).sched.get())) {
+            a.addMonotone(dev + ".vtime_monotone", [&fleet, i] {
+                const auto *tap = dynamic_cast<const VirtualTimeTap *>(
+                    fleet.stack(i).sched.get());
+                return static_cast<double>(tap->tapSystemVtime());
+            });
+        }
+        a.addMonotone(dev + ".busy_monotone", [&fleet, i] {
+            return static_cast<double>(fleet.stack(i).meter.totalBusy());
+        });
+    }
+
+    if (wd && wd->enabled) {
+        // The watchdog convicts on scan boundaries: a hang that starts
+        // right after one scan is first stamped a period later and must
+        // then age past the timeout, so detection latency is bounded by
+        // timeout + 2 x checkPeriod.
+        const WatchdogConfig cfg = *wd;
+        a.addFinal("watchdog.latency_bound",
+                   [&fleet, cfg](AuditLog &log, Tick now) {
+                       for (const WatchdogKill &k : fleet.watchdogKillLog()) {
+                           const Tick timeout =
+                               k.cause == WatchdogCause::Hang
+                               ? cfg.hangTimeout
+                               : cfg.runawayTimeout;
+                           const Tick bound = timeout + 2 * cfg.checkPeriod;
+                           log.check(k.latency <= bound,
+                                     "watchdog.latency_bound", now, bound,
+                                     k.latency);
+                       }
+                   });
+    }
+}
+
+void
+registerServeAudits(Auditor &a, ServeEngine &engine, FleetManager &fleet)
+{
+    // Conservation holds at every event boundary: a session is always
+    // exactly one of in-system (queued/placed/backing-off), departed,
+    // killed, or shed.
+    a.addPeriodic("serve.conservation", [&engine](AuditLog &log, Tick now) {
+        const std::int64_t arrivals =
+            static_cast<std::int64_t>(engine.arrivalsSeen());
+        const std::int64_t accounted =
+            static_cast<std::int64_t>(engine.liveSessions()) +
+            static_cast<std::int64_t>(engine.departures()) +
+            static_cast<std::int64_t>(engine.killedSessions()) +
+            static_cast<std::int64_t>(engine.shedSessions());
+        log.check(arrivals == accounted, "serve.conservation", now,
+                  arrivals, accounted);
+    });
+
+    // Exact usage reconciliation (the runtime form of the tests'
+    // expectExactAccounting): every tick and request the meters charged
+    // must be attributed to exactly one session, across migrations,
+    // evictions, failovers, and kills.
+    a.addFinal("serve.usage_reconciliation",
+               [&engine, &fleet](AuditLog &log, Tick now) {
+                   Tick session_busy = 0;
+                   std::uint64_t session_reqs = 0;
+                   engine.visitSessions([&](const SessionRecord &, Tick busy,
+                                            std::uint64_t reqs) {
+                       session_busy += busy;
+                       session_reqs += reqs;
+                   });
+                   Tick meter_busy = 0;
+                   std::uint64_t meter_reqs = 0;
+                   for (std::size_t i = 0; i < fleet.deviceCount(); ++i) {
+                       const UsageMeter &m = fleet.stack(i).meter;
+                       meter_busy += m.totalBusy();
+                       for (const auto &kv : m.perTaskBusy())
+                           meter_reqs += m.requestsOf(kv.first);
+                   }
+                   log.check(session_busy == meter_busy,
+                             "serve.usage_reconciliation", now, meter_busy,
+                             session_busy);
+                   log.check(session_reqs == meter_reqs,
+                             "serve.usage_reconciliation", now,
+                             static_cast<std::int64_t>(meter_reqs),
+                             static_cast<std::int64_t>(session_reqs));
+               });
+}
+
+} // namespace obs
+} // namespace neon

@@ -128,6 +128,32 @@ Observer::mergedRecords() const
     return all;
 }
 
+std::uint64_t
+Observer::droppedRecords() const
+{
+    std::uint64_t dropped = ring.dropped();
+    for (const auto &r : shardRings)
+        dropped += r->dropped();
+    return dropped;
+}
+
+namespace
+{
+
+/** One record as a JSON object (bench_trace_analyze input line). */
+void
+printRecordJson(std::ostream &os, const TraceRecord &r)
+{
+    os << "{\"when\": " << r.when << ", \"name\": \""
+       << traceNameOf(r.name) << "\", \"cat\": \""
+       << traceCategoryName(r.category()) << "\", \"kind\": "
+       << static_cast<int>(r.kind) << ", \"device\": " << r.device
+       << ", \"pid\": " << r.pid << ", \"session\": " << r.session
+       << ", \"arg0\": " << r.arg0 << ", \"arg1\": " << r.arg1 << "}\n";
+}
+
+} // namespace
+
 void
 Observer::writeOutputs()
 {
@@ -145,6 +171,14 @@ Observer::writeOutputs()
         if (!os)
             fatal("cannot open counters output '", cfg.countersCsvPath, "'");
         registry.printCsv(os);
+    }
+    if (!cfg.recordsJsonlPath.empty()) {
+        std::ofstream os(cfg.recordsJsonlPath);
+        if (!os)
+            fatal("cannot open records output '", cfg.recordsJsonlPath,
+                  "'");
+        for (const TraceRecord &r : mergedRecords())
+            printRecordJson(os, r);
     }
 }
 

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/analyze.hh"
+#include "obs/audit.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -50,7 +52,22 @@ struct ObserveConfig
     /** Counter time-series CSV output path (empty = don't write). */
     std::string countersCsvPath;
 
-    /** Anything to do for this run? */
+    /**
+     * Raw trace records as JSON-lines output path (empty = don't
+     * write). One object per retained record, in merged virtual-time
+     * order — the input format of bench_trace_analyze.
+     */
+    std::string recordsJsonlPath;
+
+    /** Analysis plane: phase attribution + windowed timelines. */
+    AnalyzeConfig analyze;
+
+    /** Invariant auditor (on by default; checks are read-only). */
+    AuditConfig audit;
+
+    /** Anything for the trace/metrics capture plane to do? The
+     * analyzer and auditor are gated separately (analyze.enabled(),
+     * audit.enabled) — they work off engine state, not the ring. */
     bool
     enabled() const
     {
@@ -105,10 +122,13 @@ class Observer
     /** One-line capture summary ("N records, M dropped, ..."). */
     std::string summary() const;
 
-  private:
+    /** Ring-wrap drops across all rings (0 = the capture is exact). */
+    std::uint64_t droppedRecords() const;
+
     /** All rings (main + shards) merged into virtual-time order. */
     std::vector<TraceRecord> mergedRecords() const;
 
+  private:
     EventQueue &eq;
     ObserveConfig cfg;
     TraceRecorder ring;

@@ -62,6 +62,29 @@ struct RetryConfig
     Tick backoffCap = msec(64);
 };
 
+/**
+ * Service-level objective targets for goodput accounting. A departed,
+ * un-killed session "meets SLO" when it satisfies every configured
+ * target; goodput is the fraction of such sessions (SloReport::goodput,
+ * and per window in the analysis plane's timeline). Both targets off
+ * (the default) keeps goodput reporting untargeted: every departure
+ * counts as met.
+ */
+struct SloTargetConfig
+{
+    /** Admission-to-departure residency bound (0 = no target). */
+    Tick sojournTarget = 0;
+
+    /**
+     * Bound on per-session slowdown vs. the class's isolated solo
+     * baseline (0 = no target). Needs the runner's with_slowdowns
+     * baselines; the windowed timeline uses the sojourn target only.
+     */
+    double slowdownTarget = 0.0;
+
+    bool any() const { return sojournTarget > 0 || slowdownTarget > 0.0; }
+};
+
 /** Serving-layer configuration. */
 struct ServeConfig
 {
@@ -110,6 +133,9 @@ struct ServeConfig
 
     /** Recovery policy for sessions evicted by device failure. */
     RetryConfig retry;
+
+    /** Goodput targets (sojourn/slowdown bounds for "meets SLO"). */
+    SloTargetConfig slo;
 };
 
 } // namespace neon

@@ -106,6 +106,7 @@ ServeEngine::onArrival(std::size_t cls)
                "session",
                obs::TraceIds{-1, -1, static_cast<std::int32_t>(sid)},
                cls, nLive);
+    emitSession(SessionEvent::Kind::Arrive, *sessions[sid]);
 
     QueuedRequest qr;
     qr.session = sid;
@@ -162,6 +163,8 @@ ServeEngine::admitSession(std::uint64_t sid)
         NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::FlowStart,
                    "session.flow", admit_ids, 0, 0);
     }
+    emitSession(SessionEvent::Kind::Admit, s,
+                static_cast<std::int32_t>(s.device));
 
     startBody(s);
 
@@ -233,6 +236,9 @@ ServeEngine::onDeparture(std::uint64_t sid)
     s.done = true;
     --nLive;
     ++nDepartures;
+    // Before freeSlot: a release there admits the next queued session,
+    // and its Admit must follow this Depart in listener order.
+    emitSession(SessionEvent::Kind::Depart, s);
 
     freeSlot(s.tenant);
 }
@@ -269,6 +275,7 @@ ServeEngine::finalizeKill(std::uint64_t sid)
     s.killed = true;
     --nLive;
     ++nKilled;
+    emitSession(SessionEvent::Kind::Kill, s);
 
     freeSlot(s.tenant);
 }
@@ -310,6 +317,8 @@ ServeEngine::onEviction(Task &t)
                obs::TraceIds{static_cast<std::int16_t>(s.device), -1,
                              static_cast<std::int32_t>(sid)},
                s.evictions, s.remainingLifetime);
+    emitSession(SessionEvent::Kind::Evict, s,
+                static_cast<std::int32_t>(s.device));
 
     // The slot it held is returned (capacity already shrank via
     // onDeviceDown, so this normally releases nobody).
@@ -359,6 +368,13 @@ ServeEngine::retryArrive(std::uint64_t sid)
     }
 
     ++nRetries;
+    // Past the hopeless-fleet check only: a re-backoff above stays in
+    // the stall phase, while this point re-enters the admission queue.
+    NEON_TRACE(obs::TraceCategory::Fault, obs::TraceKind::Instant,
+               "serve.retry_arrive",
+               obs::TraceIds{-1, -1, static_cast<std::int32_t>(sid)},
+               s.retries, 0);
+    emitSession(SessionEvent::Kind::RetryEnqueue, s);
     const ServeClass &c = classes[s.cls];
     QueuedRequest qr;
     qr.session = sid;
@@ -391,6 +407,7 @@ ServeEngine::shedSession(SessionRecord &s)
                "session.flow", shed_ids, 0, 0);
     NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::AsyncEnd,
                "session", shed_ids, 0, 0);
+    emitSession(SessionEvent::Kind::Shed, s);
 }
 
 void
@@ -487,10 +504,54 @@ ServeEngine::tryMigrate()
                "serve.migrate", mig_ids, plan.from, plan.to);
     NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::FlowStep,
                "session.flow", mig_ids, plan.lag, 0);
+    emitSession(SessionEvent::Kind::Migrate, *victim,
+                static_cast<std::int32_t>(plan.to));
 
     startBody(*victim);
     // The session's departure event is untouched: lifetime is wall
     // time in the system, not time on any one device.
+}
+
+void
+ServeEngine::emitSession(SessionEvent::Kind kind, const SessionRecord &s,
+                         std::int32_t device)
+{
+    if (listeners.empty())
+        return;
+    SessionEvent e;
+    e.kind = kind;
+    e.when = eq.now();
+    e.session = s.id;
+    e.device = device;
+    e.cls = s.cls;
+    for (const auto &fn : listeners)
+        fn(e);
+}
+
+void
+ServeEngine::addSessionListener(std::function<void(const SessionEvent &)> fn)
+{
+    listeners.push_back(std::move(fn));
+}
+
+void
+ServeEngine::visitSessions(
+    const std::function<void(const SessionRecord &, Tick, std::uint64_t)>
+        &fn) const
+{
+    for (const auto &sp : sessions) {
+        Tick busy = sp->busy;
+        std::uint64_t reqs = sp->requests;
+        if (sp->task) {
+            // Open incarnation: fresh pid, so the meter's per-pid
+            // counters are exactly its usage (see foldIncarnationUsage).
+            const UsageMeter &m = fleet.stack(sp->device).meter;
+            const int pid = sp->task->pid();
+            busy += m.busyOf(pid);
+            reqs += m.requestsOf(pid);
+        }
+        fn(*sp, busy, reqs);
+    }
 }
 
 std::vector<SessionRecord>

@@ -105,6 +105,33 @@ struct SessionRecord
     Tick remainingLifetime = -1;
 };
 
+/**
+ * One serve-layer lifecycle transition, delivered synchronously to
+ * registered listeners (the analysis plane's phase tracker). Exact by
+ * construction — unlike the trace ring, listener delivery never drops
+ * — and read-only: listeners observe, they cannot steer.
+ */
+struct SessionEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        Arrive,       ///< session entered the system (queued)
+        Admit,        ///< placed on a device (first time or failover)
+        Migrate,      ///< moved to another device by the global clock
+        Evict,        ///< interrupted by device failure (backoff begins)
+        RetryEnqueue, ///< backoff expired, re-entered the admission queue
+        Depart,       ///< completed its lifetime and left
+        Kill,         ///< ended by per-device protection
+        Shed,         ///< dropped after exhausting its retry budget
+    };
+
+    Kind kind = Kind::Arrive;
+    Tick when = 0;
+    std::uint64_t session = 0;
+    std::int32_t device = -1; ///< target device (Admit/Migrate), else -1
+    std::size_t cls = 0;      ///< workload class index
+};
+
 /** Drives arrivals, admission, placement, migration, and departures. */
 class ServeEngine
 {
@@ -133,6 +160,24 @@ class ServeEngine
      */
     std::vector<SessionRecord> sessionResults() const;
 
+    /**
+     * Visit every session record in id order without copying; @p fn
+     * receives the record plus busy/requests with the open
+     * incarnation's meter usage folded in. The windowed analyzer calls
+     * this at every window boundary, so it must stay allocation-free.
+     */
+    void visitSessions(
+        const std::function<void(const SessionRecord &, Tick,
+                                 std::uint64_t)> &fn) const;
+
+    /**
+     * Register a lifecycle listener; events are delivered synchronously
+     * at each transition, in registration order. Call before start().
+     */
+    void addSessionListener(std::function<void(const SessionEvent &)> fn);
+
+    const ServeConfig &config() const { return cfg; }
+    const std::vector<ServeClass> &workloadClasses() const { return classes; }
     const AdmissionController &admissionState() const { return adm; }
     const GlobalVirtualClock &globalClock() const { return clock; }
 
@@ -166,6 +211,8 @@ class ServeEngine
     void onClockTick();
     void tryMigrate();
     std::uint64_t bodySeed(const SessionRecord &s) const;
+    void emitSession(SessionEvent::Kind kind, const SessionRecord &s,
+                     std::int32_t device = -1);
 
     EventQueue &eq;
     FleetManager &fleet;
@@ -181,6 +228,7 @@ class ServeEngine
 
     std::vector<std::unique_ptr<SessionRecord>> sessions; ///< by id
     std::map<const Task *, std::uint64_t> byTask;
+    std::vector<std::function<void(const SessionEvent &)>> listeners;
 
     std::uint64_t nArrivals = 0;
     std::uint64_t nDepartures = 0;
