@@ -29,13 +29,15 @@ TOLERANCES = {
     "fleet_interleave": 0.5,
     "open_system_churn": 0.5,
     "open_system_faulty": 0.5,
+    "open_system_shed": 0.5,
     "open_system_churn_traced": 0.4,
     "open_system_churn_audited": 0.4,
 }
 
 # The absolute floor applies to these cases (mirrors perf_report's own
-# --floor checks): the raw event core and the serving event shape.
-FLOOR_CASES = ("schedule_run", "open_system_churn")
+# --floor checks): the raw event core, the serving event shape, and
+# the serving shape with the admission control plane on every arrival.
+FLOOR_CASES = ("schedule_run", "open_system_churn", "open_system_shed")
 
 
 def main(argv):

@@ -90,6 +90,20 @@ BM_OpenSystemFaulty(benchmark::State &state)
 BENCHMARK(BM_OpenSystemFaulty);
 
 void
+BM_OpenSystemShed(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        benchmark::DoNotOptimize(
+            neonbench::openSystemShedBatch(eq, 1024));
+    }
+    // Items are arrivals offered to the front door; throttled and shed
+    // ones cost an event each without a matching departure.
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_OpenSystemShed);
+
+void
 BM_DeviceRequestThroughput(benchmark::State &state)
 {
     for (auto _ : state) {

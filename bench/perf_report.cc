@@ -306,6 +306,10 @@ main(int argc, char **argv)
     const CaseResult faulty = timeCase(minS, [](EventQueue &eq) {
         return neonbench::openSystemFaultyBatch(eq, batchN);
     });
+    std::cerr << "running open_system_shed...\n";
+    const CaseResult shed = timeCase(minS, [](EventQueue &eq) {
+        return neonbench::openSystemShedBatch(eq, batchN);
+    });
     // Same workload with per-event SimCore tracing live, so the report
     // tracks what switching the trace plane on costs the hot loop. The
     // CI floor applies to the untraced case only.
@@ -361,6 +365,7 @@ main(int argc, char **argv)
     emitCase(os, "fleet_interleave", fleet);
     emitCase(os, "open_system_churn", churn_serve);
     emitCase(os, "open_system_faulty", faulty);
+    emitCase(os, "open_system_shed", shed);
     emitCase(os, "open_system_churn_traced", churn_traced);
     emitCase(os, "open_system_churn_audited", churn_audited,
              /*last=*/true);
@@ -415,6 +420,8 @@ main(int argc, char **argv)
               << " events/s\n"
               << "open_system_faulty:    " << faulty.itemsPerSec
               << " events/s\n"
+              << "open_system_shed:      " << shed.itemsPerSec
+              << " events/s\n"
               << "  ... tracing on:      " << churn_traced.itemsPerSec
               << " events/s (" << trace_ring.dropped() << " dropped)\n"
               << "  ... audit on:        " << churn_audited.itemsPerSec
@@ -444,6 +451,16 @@ main(int argc, char **argv)
     if (floor_eps > 0.0 && churn_serve.itemsPerSec < floor_eps) {
         std::cerr << "perf_report: open_system_churn "
                   << churn_serve.itemsPerSec
+                  << " events/s is below the floor of " << floor_eps
+                  << "\n";
+        return 1;
+    }
+    // The control-plane front door (token bucket + shed prediction on
+    // every arrival) rides under the same floor: admission control
+    // must stay a per-arrival constant, not an event-core regression.
+    if (floor_eps > 0.0 && shed.itemsPerSec < floor_eps) {
+        std::cerr << "perf_report: open_system_shed "
+                  << shed.itemsPerSec
                   << " events/s is below the floor of " << floor_eps
                   << "\n";
         return 1;

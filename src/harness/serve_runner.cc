@@ -27,6 +27,8 @@ classesFrom(const std::vector<ServeWorkloadSpec> &specs)
         c.lifetime = s.lifetime;
         c.affinityKey = s.workload.affinityKey;
         c.demand = s.workload.demand;
+        c.qos = s.qos;
+        c.queueBudget = s.queueBudget;
         c.makeBody = [w = s.workload](Task &t, std::uint64_t seed) {
             return makeWorkloadBody(t, w, seed);
         };
@@ -140,6 +142,13 @@ ServeWorld::results()
     r.retryAttempts = engine.retryAttempts();
     r.failovers = engine.failoverCount();
     r.shedSessions = engine.shedSessions();
+    r.predictiveSheds = engine.predictiveSheds();
+    r.throttledSessions = engine.throttledSessions();
+    r.preemptions = engine.preemptionCount();
+    r.slo.control.shed = r.shedSessions;
+    r.slo.control.predictiveSheds = r.predictiveSheds;
+    r.slo.control.throttled = r.throttledSessions;
+    r.slo.control.preemptions = r.preemptions;
     r.peakLiveSessions = engine.peakLiveSessions();
     r.peakQueueDepth = engine.admissionState().peakPending();
     r.queuedAtEnd = engine.admissionState().pendingCount();
@@ -160,8 +169,11 @@ ServeWorld::results()
         out.departed = s.departed;
         out.killed = s.killed;
         out.shed = s.shed;
+        out.shedPredicted = s.shedPredicted;
+        out.throttled = s.throttled;
         out.evictions = s.evictions;
         out.failovers = s.failovers;
+        out.preemptions = s.preemptions;
         if (s.evictions > 0) {
             ++interrupted;
             // Recovered = resumed after every interruption and not
@@ -285,21 +297,48 @@ ServeWorld::results()
         }
     }
 
-    // Goodput against the configured SLO targets (sojourn here; the
-    // slowdown target needs baselines and is refined in ServeRunner).
+    // Goodput against the configured SLO targets (queue + sojourn
+    // here; the slowdown target needs baselines and is refined in
+    // ServeRunner). The queue budget is per class when set, so the
+    // bound an interactive session is judged by is the one the shedder
+    // used at its front door.
+    const auto queueBudgetOf = [this](std::size_t cls) {
+        const Tick own = engine.workloadClasses()[cls].queueBudget;
+        return own > 0 ? own : cfg.serve.slo.queueTarget;
+    };
+    const auto meetsQueueSojourn = [&](const ServeSessionResult &s) {
+        if (cfg.serve.slo.sojournTarget > 0 &&
+            s.departed - s.admitted > cfg.serve.slo.sojournTarget)
+            return false;
+        const Tick qb = queueBudgetOf(s.cls);
+        return qb <= 0 || s.admitted - s.arrived <= qb;
+    };
     GoodputReport &gp = r.slo.goodput;
     gp.targeted = cfg.serve.slo.any();
+    std::vector<GoodputReport> byClass(
+        engine.workloadClasses().size());
     for (const ServeSessionResult &s : r.sessions) {
         if (!s.hasDeparted() || s.killed)
             continue;
         ++gp.eligible;
-        if (cfg.serve.slo.sojournTarget <= 0 ||
-            s.departed - s.admitted <= cfg.serve.slo.sojournTarget)
+        ++byClass[s.cls].eligible;
+        if (meetsQueueSojourn(s)) {
             ++gp.met;
+            ++byClass[s.cls].met;
+        }
     }
     gp.fraction = gp.eligible > 0
         ? static_cast<double>(gp.met) / static_cast<double>(gp.eligible)
         : 1.0;
+    for (std::size_t c = 0; c < byClass.size(); ++c) {
+        GoodputReport &g = byClass[c];
+        g.targeted = gp.targeted || queueBudgetOf(c) > 0;
+        g.fraction = g.eligible > 0
+            ? static_cast<double>(g.met) / static_cast<double>(g.eligible)
+            : 1.0;
+        r.slo.goodputByClass.push_back(
+            {engine.workloadClasses()[c].label, g});
+    }
 
     if (analyzer) {
         analyzer->finalize();
@@ -372,6 +411,11 @@ ServeRunner::run(const std::vector<ServeWorkloadSpec> &specs,
                     continue;
                 bool met = cfg.serve.slo.sojournTarget <= 0 ||
                     s.departed - s.admitted <= cfg.serve.slo.sojournTarget;
+                const Tick qb = specs[s.cls].queueBudget > 0
+                    ? specs[s.cls].queueBudget
+                    : cfg.serve.slo.queueTarget;
+                if (met && qb > 0 && s.admitted - s.arrived > qb)
+                    met = false;
                 const auto it = solo_round.find(s.cls);
                 if (met && s.rounds > 0 && it != solo_round.end() &&
                     it->second > 0.0 &&

@@ -41,6 +41,12 @@ struct ServeWorkloadSpec
     /** Fair-share principal; defaults to the workload label. */
     std::string tenant;
 
+    /** QoS class (ordered/preempted only when cfg.serve.qos is on). */
+    QosClass qos = QosClass::Batch;
+
+    /** Queue-delay budget override (0 = cfg.serve.slo.queueTarget). */
+    Tick queueBudget = 0;
+
     ServeWorkloadSpec() = default;
     ServeWorkloadSpec(WorkloadSpec w, ArrivalSpec a, LifetimeSpec l,
                       std::string tenant = "")
@@ -61,10 +67,13 @@ struct ServeSessionResult
     Tick admitted = -1; ///< -1 = still queued at the horizon
     Tick departed = -1; ///< -1 = still live at the horizon
     bool killed = false;
-    bool shed = false; ///< dropped after exhausting its retry budget
+    bool shed = false; ///< dropped: retry budget spent or front door
+    bool shedPredicted = false; ///< shed by the SLO front door at arrival
+    bool throttled = false;     ///< rejected by the token bucket
 
-    int evictions = 0; ///< device-failure interruptions
-    int failovers = 0; ///< successful resumes after interruption
+    int evictions = 0;   ///< device-failure interruptions
+    int failovers = 0;   ///< successful resumes after interruption
+    int preemptions = 0; ///< displaced by interactive admissions
 
     std::vector<std::size_t> devices; ///< one per incarnation
     int migrations = 0;
@@ -90,7 +99,10 @@ struct ServeRunResult
     std::uint64_t evictions = 0;     ///< session interruptions
     std::uint64_t retryAttempts = 0; ///< re-admission attempts
     std::uint64_t failovers = 0;     ///< successful resumes
-    std::uint64_t shedSessions = 0;  ///< retry budget exhausted
+    std::uint64_t shedSessions = 0;  ///< all sheds (front door + retry)
+    std::uint64_t predictiveSheds = 0; ///< SLO front-door sheds
+    std::uint64_t throttledSessions = 0; ///< token-bucket rejections
+    std::uint64_t preemptions = 0;   ///< batch incarnations displaced
 
     /**
      * Of the sessions interrupted by a device failure, the fraction

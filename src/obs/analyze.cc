@@ -102,6 +102,18 @@ PhaseTracker::onEvent(const SessionEvent &e)
         s.open = false;
         l.state = State::Done;
         break;
+    case SessionEvent::Kind::Throttle:
+        s.throttled = true;
+        s.ended = e.when;
+        s.open = false;
+        l.state = State::Done;
+        break;
+    case SessionEvent::Kind::Preempt:
+        // Displaced incarnation waits out its backoff before the
+        // requeue (RetryEnqueue) — same stall phase as a fault
+        // eviction, since the session is neither queued nor served.
+        l.state = State::Backoff;
+        break;
     case SessionEvent::Kind::Arrive:
         break; // handled above
     }
@@ -279,12 +291,15 @@ Analyzer::onEvent(const SessionEvent &e)
     if (cfg.phases)
         tracker.onEvent(e);
 
-    if (e.session >= admittedAt.size())
+    if (e.session >= admittedAt.size()) {
         admittedAt.resize(e.session + 1, -1);
+        arrivedAt.resize(e.session + 1, -1);
+    }
 
     switch (e.kind) {
     case SessionEvent::Kind::Arrive:
         ++accum.arrivals;
+        arrivedAt[e.session] = e.when;
         break;
     case SessionEvent::Kind::Admit:
         if (admittedAt[e.session] < 0)
@@ -292,11 +307,23 @@ Analyzer::onEvent(const SessionEvent &e)
         break;
     case SessionEvent::Kind::Depart: {
         ++accum.departures;
-        const Tick target = engine.config().slo.sojournTarget;
-        if (target > 0) {
+        const Tick starget = engine.config().slo.sojournTarget;
+        const std::vector<ServeClass> &classes = engine.workloadClasses();
+        const Tick own = e.cls < classes.size()
+            ? classes[e.cls].queueBudget : 0;
+        const Tick qtarget =
+            own > 0 ? own : engine.config().slo.queueTarget;
+        if (starget > 0 || qtarget > 0) {
             ++accum.goodputEligible;
             const Tick admitted = admittedAt[e.session];
-            if (admitted >= 0 && e.when - admitted <= target)
+            const Tick arrived = arrivedAt[e.session];
+            bool met = admitted >= 0;
+            if (met && starget > 0 && e.when - admitted > starget)
+                met = false;
+            if (met && qtarget > 0 &&
+                (arrived < 0 || admitted - arrived > qtarget))
+                met = false;
+            if (met)
                 ++accum.goodputMet;
         }
         break;
@@ -306,6 +333,12 @@ Analyzer::onEvent(const SessionEvent &e)
         break;
     case SessionEvent::Kind::Shed:
         ++accum.sheds;
+        break;
+    case SessionEvent::Kind::Throttle:
+        ++accum.throttled;
+        break;
+    case SessionEvent::Kind::Preempt:
+        ++accum.preempts;
         break;
     default:
         break;
@@ -441,7 +474,8 @@ std::string
 Analyzer::timelineCsv() const
 {
     std::ostringstream os;
-    os << "start_ms,end_ms,arrivals,departures,kills,sheds,queue_depth,"
+    os << "start_ms,end_ms,arrivals,departures,kills,sheds,throttled,"
+          "preempts,queue_depth,"
           "live_sessions,fairness,goodput,goodput_eligible,goodput_met";
     for (std::size_t i = 0; i < fleet.deviceCount(); ++i)
         os << ",util_dev" << i;
@@ -451,7 +485,8 @@ Analyzer::timelineCsv() const
     for (const WindowStats &w : windows) {
         os << fmtDouble(toMsec(w.start)) << "," << fmtDouble(toMsec(w.end))
            << "," << w.arrivals << "," << w.departures << "," << w.kills
-           << "," << w.sheds << "," << w.queueDepth << "," << w.liveSessions
+           << "," << w.sheds << "," << w.throttled << "," << w.preempts
+           << "," << w.queueDepth << "," << w.liveSessions
            << "," << fmtDouble(w.fairness) << "," << fmtDouble(w.goodput)
            << "," << w.goodputEligible << "," << w.goodputMet;
         for (double u : w.deviceUtil)
@@ -485,6 +520,8 @@ Analyzer::writeOutputs() const
                << ", \"arrivals\": " << w.arrivals
                << ", \"departures\": " << w.departures
                << ", \"kills\": " << w.kills << ", \"sheds\": " << w.sheds
+               << ", \"throttled\": " << w.throttled
+               << ", \"preempts\": " << w.preempts
                << ", \"queue_depth\": " << w.queueDepth
                << ", \"live_sessions\": " << w.liveSessions
                << ", \"fairness\": " << fmtDouble(w.fairness)
@@ -534,7 +571,8 @@ sessionEventKindOf(const std::string &name, TraceKind kind,
     }
     if (kind != TraceKind::Instant)
         return false;
-    if (name == "serve.admit" || name == "serve.failover") {
+    if (name == "serve.admit" || name == "serve.failover" ||
+        name == "serve.preempt_resume") {
         out = SessionEvent::Kind::Admit;
         return true;
     }
@@ -558,8 +596,20 @@ sessionEventKindOf(const std::string &name, TraceKind kind,
         out = SessionEvent::Kind::Kill;
         return true;
     }
-    if (name == "serve.shed") {
+    if (name == "serve.shed" || name == "serve.shed_predicted") {
         out = SessionEvent::Kind::Shed;
+        return true;
+    }
+    if (name == "serve.throttle") {
+        out = SessionEvent::Kind::Throttle;
+        return true;
+    }
+    if (name == "serve.preempt") {
+        out = SessionEvent::Kind::Preempt;
+        return true;
+    }
+    if (name == "serve.preempt_requeue") {
+        out = SessionEvent::Kind::RetryEnqueue;
         return true;
     }
     return false;

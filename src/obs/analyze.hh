@@ -82,6 +82,7 @@ struct SessionPhases
     bool departed = false;
     bool killed = false;
     bool shed = false;
+    bool throttled = false; ///< rejected by the token bucket on arrival
     bool open = false; ///< still in-system at finalize
 
     PhaseBreakdown phases;
@@ -183,6 +184,8 @@ struct WindowStats
     std::uint64_t departures = 0; ///< clean departures in the window
     std::uint64_t kills = 0;
     std::uint64_t sheds = 0;
+    std::uint64_t throttled = 0; ///< token-bucket rejections
+    std::uint64_t preempts = 0;  ///< batch incarnations displaced
 
     std::size_t queueDepth = 0;   ///< admission queue at window close
     std::size_t liveSessions = 0; ///< in-system at window close
@@ -260,6 +263,7 @@ class Analyzer
     std::vector<WindowStats> windows;
     WindowStats accum;            ///< event counts for the open window
     Tick windowStart = 0;
+    std::vector<Tick> arrivedAt;  ///< arrival time, by session id
     std::vector<Tick> admittedAt; ///< first admission, by session id
     std::vector<Tick> busyPrev;   ///< busy at window open, by session id
     std::vector<Tick> devBusyPrev;

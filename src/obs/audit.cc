@@ -178,7 +178,7 @@ registerServeAudits(Auditor &a, ServeEngine &engine, FleetManager &fleet)
 {
     // Conservation holds at every event boundary: a session is always
     // exactly one of in-system (queued/placed/backing-off), departed,
-    // killed, or shed.
+    // killed, shed, or throttled.
     a.addPeriodic("serve.conservation", [&engine](AuditLog &log, Tick now) {
         const std::int64_t arrivals =
             static_cast<std::int64_t>(engine.arrivalsSeen());
@@ -186,10 +186,70 @@ registerServeAudits(Auditor &a, ServeEngine &engine, FleetManager &fleet)
             static_cast<std::int64_t>(engine.liveSessions()) +
             static_cast<std::int64_t>(engine.departures()) +
             static_cast<std::int64_t>(engine.killedSessions()) +
-            static_cast<std::int64_t>(engine.shedSessions());
+            static_cast<std::int64_t>(engine.shedSessions()) +
+            static_cast<std::int64_t>(engine.throttledSessions());
         log.check(arrivals == accounted, "serve.conservation", now,
                   arrivals, accounted);
     });
+
+    // The counter identity above could hold while per-session flags
+    // drifted (a session double-counted as shed *and* departed, or
+    // flagged done with no terminal outcome). The final partition
+    // check recounts outcomes from the records themselves: every
+    // session is exactly one of served, killed, shed, throttled, or
+    // still in-system, and each tally matches its engine counter.
+    a.addFinal("serve.outcome_partition",
+               [&engine](AuditLog &log, Tick now) {
+                   std::int64_t served = 0, killed = 0, shed = 0;
+                   std::int64_t throttled = 0, inSystem = 0, total = 0;
+                   bool exclusive = true;
+                   engine.visitSessions([&](const SessionRecord &s, Tick,
+                                            std::uint64_t) {
+                       ++total;
+                       const bool isServed =
+                           s.done && !s.killed && !s.shed && !s.throttled;
+                       const int ways = (isServed ? 1 : 0) +
+                           (s.killed ? 1 : 0) + (s.shed ? 1 : 0) +
+                           (s.throttled ? 1 : 0) + (s.done ? 0 : 1);
+                       if (ways != 1)
+                           exclusive = false;
+                       if (!s.done)
+                           ++inSystem;
+                       else if (s.killed)
+                           ++killed;
+                       else if (s.throttled)
+                           ++throttled;
+                       else if (s.shed)
+                           ++shed;
+                       else
+                           ++served;
+                   });
+                   log.check(exclusive, "serve.outcome_partition", now, 1,
+                             0);
+                   log.check(served + killed + shed + throttled +
+                                 inSystem == total,
+                             "serve.outcome_partition", now, total,
+                             served + killed + shed + throttled + inSystem);
+                   log.check(served ==
+                                 static_cast<std::int64_t>(
+                                     engine.departures()),
+                             "serve.outcome_partition", now,
+                             static_cast<std::int64_t>(engine.departures()),
+                             served);
+                   log.check(shed == static_cast<std::int64_t>(
+                                         engine.shedSessions()),
+                             "serve.outcome_partition", now,
+                             static_cast<std::int64_t>(
+                                 engine.shedSessions()),
+                             shed);
+                   log.check(throttled ==
+                                 static_cast<std::int64_t>(
+                                     engine.throttledSessions()),
+                             "serve.outcome_partition", now,
+                             static_cast<std::int64_t>(
+                                 engine.throttledSessions()),
+                             throttled);
+               });
 
     // Exact usage reconciliation (the runtime form of the tests'
     // expectExactAccounting): every tick and request the meters charged

@@ -7,6 +7,18 @@ namespace neon
 {
 
 std::string
+qosClassName(QosClass c)
+{
+    switch (c) {
+      case QosClass::Interactive:
+        return "interactive";
+      case QosClass::Batch:
+        return "batch";
+    }
+    return "?";
+}
+
+std::string
 admissionKindName(AdmissionKind k)
 {
     switch (k) {
@@ -118,6 +130,40 @@ AdmissionController::liveOf(const std::string &tenant) const
     return it == liveByTenant.end() ? 0 : it->second;
 }
 
+bool
+AdmissionController::releasesBefore(const QueuedRequest &a,
+                                    const QueuedRequest &b) const
+{
+    if (a.qosPriority != b.qosPriority)
+        return a.qosPriority < b.qosPriority;
+
+    switch (kind) {
+      case AdmissionKind::Fifo:
+        break; // no policy key; fall through to deadline/id
+
+      case AdmissionKind::ShortestDemand:
+        if (a.demand != b.demand)
+            return a.demand < b.demand;
+        break;
+
+      case AdmissionKind::FairShare: {
+        const std::size_t la = liveOf(a.tenant);
+        const std::size_t lb = liveOf(b.tenant);
+        if (la != lb)
+            return la < lb;
+        break;
+      }
+    }
+
+    // 0 = no deadline = infinitely late.
+    const Tick da = a.deadline > 0 ? a.deadline : maxTick;
+    const Tick db = b.deadline > 0 ? b.deadline : maxTick;
+    if (da != db)
+        return da < db;
+
+    return a.session < b.session;
+}
+
 std::size_t
 AdmissionController::pickNext() const
 {
@@ -129,23 +175,9 @@ AdmissionController::pickNext() const
     }
 
     std::size_t best = 0;
-    switch (kind) {
-      case AdmissionKind::Fifo:
-        break; // pending is kept in arrival order
-
-      case AdmissionKind::ShortestDemand:
-        for (std::size_t i = 1; i < pending.size(); ++i) {
-            if (pending[i].demand < pending[best].demand)
-                best = i;
-        }
-        break;
-
-      case AdmissionKind::FairShare:
-        for (std::size_t i = 1; i < pending.size(); ++i) {
-            if (liveOf(pending[i].tenant) < liveOf(pending[best].tenant))
-                best = i;
-        }
-        break;
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+        if (releasesBefore(pending[i], pending[best]))
+            best = i;
     }
     return best;
 }

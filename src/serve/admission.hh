@@ -40,6 +40,20 @@ struct QueuedRequest
      * released ahead of ordinary requests (FIFO among priorities).
      */
     bool priority = false;
+
+    /**
+     * QoS release rank (qosPriorityOf; lower releases first). All
+     * requests share rank 0 when QoS classes are off, which keeps the
+     * release order bit-identical to the pre-QoS engine.
+     */
+    int qosPriority = 0;
+
+    /**
+     * Absolute queue deadline (arrival + class queue budget); 0 means
+     * none and sorts after every real deadline. Breaks release ties
+     * within a QoS rank and policy key ahead of the session id.
+     */
+    Tick deadline = 0;
 };
 
 /** Slot-capacity admission control with pluggable release order. */
@@ -95,6 +109,18 @@ class AdmissionController
 
   private:
     std::size_t pickNext() const; ///< index into pending, per policy
+
+    /**
+     * Total deterministic release order: QoS rank, then the policy key
+     * (demand / tenant live count; none for FIFO), then deadline, then
+     * session id. Never falls back to queue position, so the pick is
+     * independent of incidental container order (sharding-safe), yet
+     * reduces exactly to the old first-strict-min scan when QoS is off
+     * because session ids are monotone in enqueue order.
+     */
+    bool releasesBefore(const QueuedRequest &a,
+                        const QueuedRequest &b) const;
+
     std::optional<QueuedRequest> releaseOne(); ///< unconditional pick
 
     void

@@ -1,0 +1,80 @@
+#include "serve/rate_limit.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace neon
+{
+
+TokenBucket::TokenBucket(const TokenBucketConfig &cfg)
+{
+    if (!cfg.enabled())
+        panic("token bucket: ratePerSec must be positive");
+    if (cfg.burst < 1.0)
+        panic("token bucket: burst must be at least one token");
+
+    period = static_cast<Tick>(std::llround(1e9 / cfg.ratePerSec));
+    if (period < 1)
+        period = 1;
+    capacity = static_cast<Tick>(std::llround(cfg.burst *
+                                              static_cast<double>(period)));
+    balance = capacity; // full at creation: the first burst is free
+}
+
+void
+TokenBucket::refill(Tick now)
+{
+    if (now < lastRefill)
+        panic("token bucket: virtual time moved backwards");
+    const Tick credit = now - lastRefill;
+    lastRefill = now;
+    balance = std::min<Tick>(capacity, balance + credit);
+}
+
+bool
+TokenBucket::tryAcquire(Tick now)
+{
+    refill(now);
+    if (balance < period)
+        return false;
+    balance -= period;
+    return true;
+}
+
+std::uint64_t
+TokenBucket::availableTokens(Tick now)
+{
+    refill(now);
+    return static_cast<std::uint64_t>(balance / period);
+}
+
+bool
+TenantRateLimiter::allow(const std::string &tenant, Tick now)
+{
+    if (!cfg.enabled()) {
+        ++nPassed;
+        return true;
+    }
+
+    auto it = buckets.find(tenant);
+    if (it == buckets.end())
+        it = buckets.emplace(tenant, TokenBucket(cfg)).first;
+
+    if (it->second.tryAcquire(now)) {
+        ++nPassed;
+        return true;
+    }
+    ++nThrottled;
+    ++throttledByTenant[tenant];
+    return false;
+}
+
+std::uint64_t
+TenantRateLimiter::throttledOf(const std::string &tenant) const
+{
+    auto it = throttledByTenant.find(tenant);
+    return it == throttledByTenant.end() ? 0 : it->second;
+}
+
+} // namespace neon

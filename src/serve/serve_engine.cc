@@ -17,13 +17,20 @@ ServeEngine::ServeEngine(EventQueue &eq, FleetManager &fleet,
     : eq(eq), fleet(fleet), cfg(cfg), classes(std::move(classes)),
       slots(slots_per_device), seed(seed),
       adm(cfg.admission, slots_per_device * fleet.deviceCount()),
-      clock(fleet, slots_per_device),
-      lifetimeRng(namedStream(seed, "serve.lifetime"))
+      clock(fleet, slots_per_device), limiter(cfg.rateLimit),
+      shedder(cfg.shed), lifetimeRng(namedStream(seed, "serve.lifetime"))
 {
     if (this->classes.empty())
         panic("serve: at least one workload class is required");
     if (slots == 0)
         panic("serve: slotsPerDevice must be at least 1");
+
+    // Prime per-class holding estimates from the configured lifetime
+    // means so the first shed predictions are sane before any
+    // departure has been observed (forever-lived classes prime to the
+    // floor; their holds are unbounded anyway).
+    for (const ServeClass &c : this->classes)
+        shedder.seedHold(c.label, c.lifetime.finite() ? c.lifetime.mean : 0);
 
     // Named streams keep workload draws bit-identical whether or not
     // the fault plane (with its own streams) is enabled.
@@ -108,13 +115,54 @@ ServeEngine::onArrival(std::size_t cls)
                cls, nLive);
     emitSession(SessionEvent::Kind::Arrive, *sessions[sid]);
 
+    // Front door, stage 1: per-tenant token bucket. A throttled
+    // arrival is recorded and counted, never silently dropped.
+    if (!limiter.allow(sessions[sid]->tenant, eq.now())) {
+        throttleSession(*sessions[sid]);
+        scheduleNextArrival(cls);
+        return;
+    }
+
+    const Tick budget = queueBudgetOf(cls);
     QueuedRequest qr;
     qr.session = sid;
     qr.tenant = sessions[sid]->tenant;
     qr.demand = c.demand;
     qr.enqueued = eq.now();
-    if (adm.arrive(qr))
+    qr.qosPriority = qosRankOf(cls);
+    // Deadline-aware release ordering is part of the QoS feature; off,
+    // the budget only drives shedding and goodput, never queue order.
+    qr.deadline =
+        cfg.qos.enabled && budget > 0 ? eq.now() + budget : 0;
+
+    // Front door, stage 2: SLO prediction — but only for an arrival
+    // that would actually queue; with a free slot and an empty queue
+    // the delay is zero and admission is immediate.
+    const bool wouldQueue =
+        adm.live() >= adm.capacity() || adm.pendingCount() > 0;
+    if (wouldQueue && cfg.shed.enabled && budget > 0) {
+        const Tick residual =
+            adm.live() >= adm.capacity() ? shedder.holdOf(c.label) / 2 : 0;
+        const ShedDecision d = shedder.decide(
+            queuedWorkAhead(qr.qosPriority), residual, adm.capacity(),
+            budget);
+        if (d.shed) {
+            shedAtFrontDoor(*sessions[sid], d);
+            scheduleNextArrival(cls);
+            return;
+        }
+    }
+
+    if (adm.arrive(qr)) {
         admitSession(sid);
+    } else if (cfg.qos.enabled && cfg.qos.preemption &&
+               !adm.queued().empty()) {
+        // Queued interactive arrivals may displace a live batch
+        // incarnation; the freed slot releases the queue's best
+        // request (priority retries first, then this arrival by QoS
+        // rank), so the preemption is never wasted on a worse pick.
+        tryPreempt(qr.qosPriority);
+    }
 
     scheduleNextArrival(cls);
 }
@@ -125,8 +173,11 @@ ServeEngine::admitSession(std::uint64_t sid)
     SessionRecord &s = *sessions[sid];
     const ServeClass &c = classes[s.cls];
     // A session with more evictions than failovers is resuming after a
-    // device failure rather than entering for the first time.
-    const bool resuming = s.evictions > s.failovers;
+    // device failure; a preempted one resumes without counting as a
+    // fault failover. Both restart the frozen departure clock.
+    const bool faultResume = s.evictions > s.failovers;
+    const bool resuming = faultResume || s.preemptResume;
+    s.preemptResume = false;
     if (s.admitted < 0)
         s.admitted = eq.now();
 
@@ -150,11 +201,16 @@ ServeEngine::admitSession(std::uint64_t sid)
     const obs::TraceIds admit_ids{static_cast<std::int16_t>(s.device),
                                   t->pid(),
                                   static_cast<std::int32_t>(sid)};
-    if (resuming) {
+    if (faultResume) {
         ++s.failovers;
         ++nFailovers;
         NEON_TRACE(obs::TraceCategory::Fault, obs::TraceKind::Instant,
                    "serve.failover", admit_ids, s.evictions, s.retries);
+        NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::FlowStep,
+                   "session.flow", admit_ids, 0, 0);
+    } else if (resuming) {
+        NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::Instant,
+                   "serve.preempt_resume", admit_ids, s.preemptions, 0);
         NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::FlowStep,
                    "session.flow", admit_ids, 0, 0);
     } else {
@@ -236,6 +292,8 @@ ServeEngine::onDeparture(std::uint64_t sid)
     s.done = true;
     --nLive;
     ++nDepartures;
+    if (s.admitted >= 0)
+        shedder.noteHold(classes[s.cls].label, eq.now() - s.admitted);
     // Before freeSlot: a release there admits the next queued session,
     // and its Admit must follow this Depart in listener order.
     emitSession(SessionEvent::Kind::Depart, s);
@@ -275,6 +333,8 @@ ServeEngine::finalizeKill(std::uint64_t sid)
     s.killed = true;
     --nLive;
     ++nKilled;
+    if (s.admitted >= 0)
+        shedder.noteHold(classes[s.cls].label, eq.now() - s.admitted);
     emitSession(SessionEvent::Kind::Kill, s);
 
     freeSlot(s.tenant);
@@ -411,6 +471,187 @@ ServeEngine::shedSession(SessionRecord &s)
 }
 
 void
+ServeEngine::throttleSession(SessionRecord &s)
+{
+    s.throttled = true;
+    s.done = true;
+    --nLive;
+    ++nThrottled;
+
+    const obs::TraceIds ids{-1, -1, static_cast<std::int32_t>(s.id)};
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::Instant,
+               "serve.throttle", ids,
+               limiter.throttledOf(s.tenant), 0);
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::AsyncEnd,
+               "session", ids, 0, 0);
+    emitSession(SessionEvent::Kind::Throttle, s);
+}
+
+void
+ServeEngine::shedAtFrontDoor(SessionRecord &s, const ShedDecision &d)
+{
+    s.shed = true;
+    s.shedPredicted = true;
+    s.done = true;
+    --nLive;
+    ++nShed;
+    ++nShedPredicted;
+
+    const obs::TraceIds ids{-1, -1, static_cast<std::int32_t>(s.id)};
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::Instant,
+               "serve.shed_predicted", ids, d.predicted, d.budget);
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::AsyncEnd,
+               "session", ids, 0, 0);
+    emitSession(SessionEvent::Kind::Shed, s);
+}
+
+Tick
+ServeEngine::queuedWorkAhead(int rank) const
+{
+    // Only work that would release before (or tied with) an arrival of
+    // @p rank delays it: with QoS on, an interactive request jumps the
+    // batch backlog, so batch holds must not inflate its prediction.
+    // With QoS off every request carries rank 0 and all queued work
+    // counts, exactly the rank-blind model.
+    Tick work = 0;
+    for (const QueuedRequest &r : adm.queued()) {
+        if (r.qosPriority > rank)
+            continue;
+        work += shedder.holdOf(classes[sessions[r.session]->cls].label);
+    }
+    return work;
+}
+
+Tick
+ServeEngine::queueBudgetOf(std::size_t cls) const
+{
+    const Tick own = classes[cls].queueBudget;
+    return own > 0 ? own : cfg.slo.queueTarget;
+}
+
+int
+ServeEngine::qosRankOf(std::size_t cls) const
+{
+    return cfg.qos.enabled ? qosPriorityOf(classes[cls].qos) : 0;
+}
+
+bool
+ServeEngine::tryPreempt(int arrivingRank)
+{
+    // Transient free capacity (device repair mid-queue) beats paying
+    // for a preemption.
+    if (auto released = adm.releaseIfFree()) {
+        admitSession(released->session);
+        return true;
+    }
+
+    // Victim: the lowest-priority live incarnation, youngest first
+    // (least sunk service wasted), strictly below the arriving rank.
+    // byTask is keyed by task address, so every tie must break on
+    // session state only — never map order (heap layout varies).
+    SessionRecord *victim = nullptr;
+    for (const auto &kv : byTask) {
+        SessionRecord &s = *sessions[kv.second];
+        if (s.done || !s.task || !s.task->alive())
+            continue;
+        const int rank = qosRankOf(s.cls);
+        if (rank <= arrivingRank)
+            continue;
+        if (!victim || rank > qosRankOf(victim->cls) ||
+            (rank == qosRankOf(victim->cls) &&
+             (s.admitted > victim->admitted ||
+              (s.admitted == victim->admitted && s.id > victim->id)))) {
+            victim = &s;
+        }
+    }
+    if (!victim)
+        return false;
+
+    preemptSession(*victim);
+    return true;
+}
+
+void
+ServeEngine::preemptSession(SessionRecord &s)
+{
+    // Identical bookkeeping to a fault eviction — retire the
+    // incarnation (folding its exact meter usage), freeze the
+    // departure clock — except the requeue is a plain backoff, not a
+    // retry: preemption never burns the fault-retry budget.
+    byTask.erase(s.task);
+    fleet.retireTask(*s.task);
+    endIncarnation(s);
+    s.task = nullptr;
+    ++s.preemptions;
+    ++nPreemptions;
+    s.preemptResume = true;
+
+    if (s.departureEv != invalidEventId) {
+        eq.cancel(s.departureEv);
+        s.departureEv = invalidEventId;
+        s.remainingLifetime = std::max<Tick>(0, s.departAt - eq.now());
+        s.departAt = -1;
+    } else {
+        s.remainingLifetime = -1;
+    }
+
+    const obs::TraceIds ids{static_cast<std::int16_t>(s.device), -1,
+                            static_cast<std::int32_t>(s.id)};
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::Instant,
+               "serve.preempt", ids, s.preemptions, s.remainingLifetime);
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::FlowStep,
+               "session.flow", ids, 0, 0);
+    emitSession(SessionEvent::Kind::Preempt, s,
+                static_cast<std::int32_t>(s.device));
+
+    // The freed slot releases the queue's best request — the
+    // preemption-causing interactive, unless a priority retry or an
+    // earlier-deadline peer outranks it (all deterministic).
+    freeSlot(s.tenant);
+
+    const std::uint64_t sid = s.id;
+    s.retryEv = eq.scheduleIn(cfg.qos.preemptionBackoff,
+                              [this, sid] { preemptRequeue(sid); });
+}
+
+void
+ServeEngine::preemptRequeue(std::uint64_t sid)
+{
+    SessionRecord &s = *sessions[sid];
+    s.retryEv = invalidEventId;
+    if (s.done)
+        return;
+
+    // Hopeless fleet mid-backoff: fall into the fault plane's capped
+    // retry loop rather than queueing toward zero capacity.
+    if (fleet.upDeviceCount() == 0 || adm.capacity() == 0) {
+        scheduleRetry(s);
+        return;
+    }
+
+    NEON_TRACE(obs::TraceCategory::Serve, obs::TraceKind::Instant,
+               "serve.preempt_requeue",
+               obs::TraceIds{-1, -1, static_cast<std::int32_t>(sid)},
+               s.preemptions, 0);
+    emitSession(SessionEvent::Kind::RetryEnqueue, s);
+
+    const ServeClass &c = classes[s.cls];
+    const Tick budget = queueBudgetOf(s.cls);
+    QueuedRequest qr;
+    qr.session = sid;
+    qr.tenant = s.tenant;
+    qr.demand = c.demand;
+    qr.enqueued = eq.now();
+    qr.qosPriority = qosRankOf(s.cls);
+    qr.deadline =
+        cfg.qos.enabled && budget > 0 ? eq.now() + budget : 0;
+    // No priority flag: a preempted batch session re-queues behind
+    // interactive traffic by rank, or preemption would just thrash.
+    if (adm.arrive(qr))
+        admitSession(sid);
+}
+
+void
 ServeEngine::freeSlot(const std::string &tenant)
 {
     if (auto released = adm.depart(tenant))
@@ -442,6 +683,23 @@ ServeEngine::endIncarnation(SessionRecord &s)
 void
 ServeEngine::onClockTick()
 {
+    // Drain discount for the shed predictor: the aggregate speed of
+    // the up devices over the whole fleet's nominal speed. Slot
+    // capacity already shrinks with down devices, so this corrects
+    // for the *quality* of the surviving slots (losing the fast
+    // devices makes the queue drain slower than the count suggests).
+    if (cfg.shed.enabled) {
+        double upSpeed = 0.0;
+        double allSpeed = 0.0;
+        for (const DeviceClockSample &d : clock.sample()) {
+            allSpeed += d.speedFactor;
+            if (d.up)
+                upSpeed += d.speedFactor;
+        }
+        if (allSpeed > 0.0)
+            shedder.noteDrainRatio(upSpeed / allSpeed);
+    }
+
     tryMigrate();
     eq.scheduleIn(cfg.clockPeriod, [this] { onClockTick(); });
 }

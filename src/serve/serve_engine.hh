@@ -40,7 +40,9 @@
 #include "fleet/fleet_manager.hh"
 #include "serve/admission.hh"
 #include "serve/global_clock.hh"
+#include "serve/rate_limit.hh"
 #include "serve/serve_config.hh"
+#include "serve/slo_admission.hh"
 #include "sim/random.hh"
 #include "workload/arrival.hh"
 
@@ -57,6 +59,15 @@ struct ServeClass
     std::string affinityKey; ///< sticky placement (empty = label)
     double demand = 1.0;     ///< expected-demand hint
 
+    /** QoS class; only ordered/preempted when ServeConfig::qos is on. */
+    QosClass qos = QosClass::Batch;
+
+    /**
+     * Per-class queue-delay budget for predictive shedding and the
+     * release deadline (0 = inherit ServeConfig::slo.queueTarget).
+     */
+    Tick queueBudget = 0;
+
     /** Builds a (re)startable workload body for one incarnation. */
     std::function<Co(Task &, std::uint64_t)> makeBody;
 };
@@ -72,13 +83,16 @@ struct SessionRecord
     Tick arrived = 0;
     Tick admitted = -1;  ///< -1 while queued
     Tick departed = -1;  ///< -1 while live
-    bool done = false;   ///< departed (or killed, or shed)
+    bool done = false;   ///< departed (or killed, shed, or throttled)
     bool killed = false; ///< ended by per-device protection
-    bool shed = false;   ///< dropped after exhausting its retry budget
+    bool shed = false;   ///< dropped: retry budget spent or front door
+    bool shedPredicted = false; ///< shed by SLO prediction at arrival
+    bool throttled = false;     ///< rejected by the token bucket
 
-    int evictions = 0; ///< times a device failure interrupted it
-    int failovers = 0; ///< times it resumed on the (shrunken) fleet
-    int retries = 0;   ///< backoff attempts consumed
+    int evictions = 0;   ///< times a device failure interrupted it
+    int failovers = 0;   ///< times it resumed on the (shrunken) fleet
+    int retries = 0;     ///< backoff attempts consumed
+    int preemptions = 0; ///< times an interactive admit took its slot
 
     // Accumulated across completed incarnations (endIncarnation);
     // sessionResults() adds the open incarnation on top.
@@ -103,6 +117,13 @@ struct SessionRecord
      * from here on re-admission. -1 = no frozen remainder.
      */
     Tick remainingLifetime = -1;
+
+    /**
+     * Displaced by a preemption and not yet re-admitted: the next
+     * admission resumes the frozen remainder instead of sampling a
+     * fresh lifetime (and is not a fault failover).
+     */
+    bool preemptResume = false;
 };
 
 /**
@@ -122,7 +143,9 @@ struct SessionEvent
         RetryEnqueue, ///< backoff expired, re-entered the admission queue
         Depart,       ///< completed its lifetime and left
         Kill,         ///< ended by per-device protection
-        Shed,         ///< dropped after exhausting its retry budget
+        Shed,         ///< dropped: retry budget spent or SLO front door
+        Throttle,     ///< rejected by the token bucket on arrival
+        Preempt,      ///< batch incarnation displaced by an interactive
     };
 
     Kind kind = Kind::Arrive;
@@ -180,6 +203,8 @@ class ServeEngine
     const std::vector<ServeClass> &workloadClasses() const { return classes; }
     const AdmissionController &admissionState() const { return adm; }
     const GlobalVirtualClock &globalClock() const { return clock; }
+    const TenantRateLimiter &rateLimiter() const { return limiter; }
+    const SloAdmission &shedModel() const { return shedder; }
 
     std::uint64_t arrivalsSeen() const { return nArrivals; }
     std::uint64_t departures() const { return nDepartures; }
@@ -189,6 +214,9 @@ class ServeEngine
     std::uint64_t retryAttempts() const { return nRetries; }
     std::uint64_t failoverCount() const { return nFailovers; }
     std::uint64_t shedSessions() const { return nShed; }
+    std::uint64_t throttledSessions() const { return nThrottled; }
+    std::uint64_t predictiveSheds() const { return nShedPredicted; }
+    std::uint64_t preemptionCount() const { return nPreemptions; }
     std::size_t liveSessions() const { return nLive; }
     std::size_t peakLiveSessions() const { return peakLive; }
     std::size_t slotsPerDevice() const { return slots; }
@@ -204,6 +232,14 @@ class ServeEngine
     void scheduleRetry(SessionRecord &s);
     void retryArrive(std::uint64_t sid);
     void shedSession(SessionRecord &s);
+    void throttleSession(SessionRecord &s);
+    void shedAtFrontDoor(SessionRecord &s, const ShedDecision &d);
+    bool tryPreempt(int arrivingRank);
+    void preemptSession(SessionRecord &victim);
+    void preemptRequeue(std::uint64_t sid);
+    Tick queuedWorkAhead(int rank) const;
+    Tick queueBudgetOf(std::size_t cls) const;
+    int qosRankOf(std::size_t cls) const;
     void freeSlot(const std::string &tenant);
     void foldIncarnationUsage(SessionRecord &s) const;
     void endIncarnation(SessionRecord &s);
@@ -223,6 +259,8 @@ class ServeEngine
 
     AdmissionController adm;
     GlobalVirtualClock clock;
+    TenantRateLimiter limiter;
+    SloAdmission shedder;
     Rng lifetimeRng;
     std::vector<ArrivalProcess> arrivalProcs; ///< parallel to classes
 
@@ -238,6 +276,9 @@ class ServeEngine
     std::uint64_t nRetries = 0;
     std::uint64_t nFailovers = 0;
     std::uint64_t nShed = 0;
+    std::uint64_t nShedPredicted = 0;
+    std::uint64_t nThrottled = 0;
+    std::uint64_t nPreemptions = 0;
     std::size_t nLive = 0;
     std::size_t peakLive = 0;
 };

@@ -1,0 +1,83 @@
+#include "serve/slo_admission.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neon
+{
+
+void
+SloAdmission::seedHold(const std::string &label, Tick mean)
+{
+    holds[label] = std::max(mean, cfg.holdFloor);
+}
+
+void
+SloAdmission::noteHold(const std::string &label, Tick held)
+{
+    held = std::max(held, cfg.holdFloor);
+    auto it = holds.find(label);
+    if (it == holds.end()) {
+        holds[label] = held;
+        return;
+    }
+    const double a = cfg.holdAlpha;
+    const double next = a * static_cast<double>(held) +
+                        (1.0 - a) * static_cast<double>(it->second);
+    it->second = std::max(static_cast<Tick>(std::llround(next)),
+                          cfg.holdFloor);
+}
+
+Tick
+SloAdmission::holdOf(const std::string &label) const
+{
+    auto it = holds.find(label);
+    return it == holds.end() ? cfg.holdFloor : it->second;
+}
+
+void
+SloAdmission::noteDrainRatio(double ratio)
+{
+    ratio = std::clamp(ratio, 0.05, 1.0);
+    if (!drainSampled) {
+        drain = ratio;
+        drainSampled = true;
+        return;
+    }
+    drain = std::clamp(cfg.holdAlpha * ratio + (1.0 - cfg.holdAlpha) * drain,
+                       0.05, 1.0);
+}
+
+Tick
+SloAdmission::predictDelay(Tick aheadWork, Tick residual,
+                           std::size_t capacity, double drainFactor)
+{
+    if (capacity == 0)
+        return maxTick; // fully-down fleet: nothing ever drains
+
+    const double servers = static_cast<double>(capacity) *
+                           std::clamp(drainFactor, 0.05, 1.0);
+    const double delay =
+        static_cast<double>(aheadWork + residual) / servers;
+    if (delay >= static_cast<double>(maxTick))
+        return maxTick;
+    return static_cast<Tick>(std::llround(delay));
+}
+
+ShedDecision
+SloAdmission::decide(Tick aheadWork, Tick residual, std::size_t capacity,
+                     Tick budget) const
+{
+    ShedDecision d;
+    d.budget = budget;
+    d.predicted = predictDelay(aheadWork, residual, capacity, drain);
+    if (!cfg.enabled || budget <= 0)
+        return d; // no shedding without a master switch and a target
+
+    const double margin =
+        cfg.safety * static_cast<double>(d.predicted);
+    d.shed = margin > static_cast<double>(budget);
+    return d;
+}
+
+} // namespace neon

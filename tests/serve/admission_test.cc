@@ -125,6 +125,113 @@ TEST(Admission, FairSharePrefersTenantWithFewestLive)
     EXPECT_EQ(rel->session, 3u);
 }
 
+QueuedRequest
+qosReq(std::uint64_t id, const std::string &tenant, int rank,
+       Tick deadline = 0, double demand = 1.0)
+{
+    QueuedRequest r = req(id, tenant, demand);
+    r.qosPriority = rank;
+    r.deadline = deadline;
+    return r;
+}
+
+TEST(Admission, QosRankReleasesInteractiveFirst)
+{
+    // An interactive (rank 0) arrival beats an earlier batch (rank 1)
+    // request to the freed slot.
+    AdmissionController adm(AdmissionKind::Fifo, 1);
+    EXPECT_TRUE(adm.arrive(req(0, "a")));
+    EXPECT_FALSE(adm.arrive(qosReq(1, "batch", 1)));
+    EXPECT_FALSE(adm.arrive(qosReq(2, "inter", 0)));
+    auto rel = adm.depart("a");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 2u);
+    rel = adm.depart("inter");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 1u);
+}
+
+TEST(Admission, DeadlineBreaksTiesWithinRank)
+{
+    // Same rank and policy key: the earlier absolute deadline releases
+    // first, regardless of enqueue order.
+    AdmissionController adm(AdmissionKind::Fifo, 1);
+    EXPECT_TRUE(adm.arrive(req(0, "a")));
+    EXPECT_FALSE(adm.arrive(qosReq(1, "late", 0, msec(20))));
+    EXPECT_FALSE(adm.arrive(qosReq(2, "soon", 0, msec(10))));
+    auto rel = adm.depart("a");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 2u);
+}
+
+TEST(Admission, NoDeadlineSortsAfterEveryRealDeadline)
+{
+    // deadline == 0 means "no queue budget" and must lose to any
+    // session that actually has one, even a very distant one.
+    AdmissionController adm(AdmissionKind::Fifo, 1);
+    EXPECT_TRUE(adm.arrive(req(0, "a")));
+    EXPECT_FALSE(adm.arrive(qosReq(1, "none", 0, 0)));
+    EXPECT_FALSE(adm.arrive(qosReq(2, "far", 0, sec(100))));
+    auto rel = adm.depart("a");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 2u);
+}
+
+TEST(Admission, SessionIdBreaksFinalTies)
+{
+    // Identical rank, key, and deadline: the lower session id wins —
+    // a total order with no dependence on container layout.
+    AdmissionController adm(AdmissionKind::Fifo, 1);
+    EXPECT_TRUE(adm.arrive(req(0, "a")));
+    EXPECT_FALSE(adm.arrive(qosReq(2, "x", 0, msec(5))));
+    EXPECT_FALSE(adm.arrive(qosReq(1, "y", 0, msec(5))));
+    auto rel = adm.depart("a");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 1u);
+}
+
+TEST(Admission, PolicyKeyOutranksDeadline)
+{
+    // Within a rank the release policy still rules: shortest-demand
+    // picks the lighter request even against a tighter deadline.
+    AdmissionController adm(AdmissionKind::ShortestDemand, 1);
+    EXPECT_TRUE(adm.arrive(req(0, "a")));
+    EXPECT_FALSE(adm.arrive(qosReq(1, "heavy", 0, msec(1), 5.0)));
+    EXPECT_FALSE(adm.arrive(qosReq(2, "light", 0, msec(100), 1.0)));
+    auto rel = adm.depart("a");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 2u);
+}
+
+TEST(Admission, RetryPriorityStillBeatsQosRank)
+{
+    // A fault-retry request re-enters ahead of everything, including
+    // interactive newcomers — it already paid its queueing delay.
+    AdmissionController adm(AdmissionKind::Fifo, 1);
+    EXPECT_TRUE(adm.arrive(req(0, "a")));
+    QueuedRequest retry = qosReq(1, "victim", 1);
+    retry.priority = true;
+    EXPECT_FALSE(adm.arrive(retry));
+    EXPECT_FALSE(adm.arrive(qosReq(2, "inter", 0)));
+    auto rel = adm.depart("a");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 1u);
+}
+
+TEST(Admission, QosRankDominatesFairShareKey)
+{
+    // Rank is compared before the fair-share live count: interactive
+    // wins the slot even when its tenant already holds more sessions.
+    AdmissionController adm(AdmissionKind::FairShare, 2);
+    EXPECT_TRUE(adm.arrive(req(0, "I")));
+    EXPECT_TRUE(adm.arrive(req(1, "I")));
+    EXPECT_FALSE(adm.arrive(qosReq(2, "B", 1)));
+    EXPECT_FALSE(adm.arrive(qosReq(3, "I", 0)));
+    auto rel = adm.depart("I");
+    ASSERT_TRUE(rel.has_value());
+    EXPECT_EQ(rel->session, 3u); // rank 0 beats B's lower live count
+}
+
 TEST(Admission, PeakPendingTracksHighWaterMark)
 {
     AdmissionController adm(AdmissionKind::Fifo, 1);
